@@ -1,0 +1,440 @@
+//! CAMI — Clustering for Alternatives with Mutual Information
+//! (Dang & Bailey 2010a) — slide 43.
+//!
+//! A generative, *simultaneous* approach: each of the two clusterings is a
+//! Gaussian mixture `Θ_t`, and the combined objective
+//!
+//! ```text
+//! maximise  L(Θ₁, DB) + L(Θ₂, DB)  −  μ · I(Θ₁, Θ₂)
+//! ```
+//!
+//! trades likelihood of both models against the mutual information between
+//! their cluster variables. Following the paper, the decorrelation term is
+//! evaluated at the **parameter level** — component-pair overlap
+//! `Σ_{j,j'} λ_j λ_{j'} K(μ_j, μ_{j'})` with a Gaussian overlap kernel —
+//! rather than on assignments. This matters: any assignment-level penalty
+//! is blind to label swaps (relabelling the same partition maximises
+//! "dissimilarity" while changing nothing), whereas parameter overlap is
+//! permutation-invariant, so the only way to reduce it is to place the
+//! second model's components at *genuinely different* positions.
+//! Optimisation alternates standard EM sweeps with a repulsion step on the
+//! means along the overlap gradient.
+
+use multiclust_core::taxonomy::{
+    AlgorithmCard, Flexibility, GivenKnowledge, Processing, SearchSpace, Solutions,
+    SubspaceAwareness,
+};
+use multiclust_core::{Clustering, SoftClustering};
+use multiclust_data::synthetic::gauss;
+use multiclust_data::Dataset;
+use multiclust_linalg::vector::sq_dist;
+use multiclust_linalg::{Cholesky, Matrix};
+use rand::rngs::StdRng;
+
+use multiclust_base::gmm::Component;
+use multiclust_base::kmeans::plus_plus_init;
+
+/// CAMI configuration: two mixtures of `k1`/`k2` components and the
+/// decorrelation weight `μ`.
+#[derive(Clone, Debug)]
+pub struct Cami {
+    k1: usize,
+    k2: usize,
+    mu: f64,
+    max_iter: usize,
+    reg: f64,
+}
+
+/// Result of a CAMI run.
+#[derive(Clone, Debug)]
+pub struct CamiResult {
+    /// Hard clusterings of the two mixtures.
+    pub clusterings: [Clustering; 2],
+    /// Soft assignments of the two mixtures.
+    pub soft: [SoftClustering; 2],
+    /// Fitted components of both models.
+    pub components: [Vec<Component>; 2],
+    /// Final objective `L₁ + L₂ − μ·overlap`.
+    pub objective: f64,
+    /// Mutual information between the two soft clusterings at convergence
+    /// (diagnostic; the decorrelation the paper's objective targets).
+    pub mutual_information: f64,
+    /// Component-overlap penalty at convergence.
+    pub overlap: f64,
+    /// Alternation iterations performed.
+    pub iterations: usize,
+}
+
+impl Cami {
+    /// Two mixtures with `k1` and `k2` components, decorrelation `μ`
+    /// (`μ = 0` decouples into two independent EM fits).
+    pub fn new(k1: usize, k2: usize, mu: f64) -> Self {
+        assert!(k1 >= 1 && k2 >= 1, "component counts must be positive");
+        assert!(mu >= 0.0, "μ must be non-negative");
+        Self { k1, k2, mu, max_iter: 80, reg: 1e-4 }
+    }
+
+    /// Sets the maximum alternation iterations.
+    #[must_use]
+    pub fn with_max_iter(mut self, max_iter: usize) -> Self {
+        self.max_iter = max_iter;
+        self
+    }
+
+    /// Runs the alternating EM with overlap repulsion.
+    pub fn fit(&self, data: &Dataset, rng: &mut StdRng) -> CamiResult {
+        let n = data.len();
+        assert!(n >= self.k1.max(self.k2), "need at least max(k) objects");
+        let d = data.dims();
+
+        let init_components = |k: usize, rng: &mut StdRng| -> Vec<Component> {
+            let means = plus_plus_init(data, k, rng);
+            let cov = global_covariance(data, self.reg);
+            means
+                .into_iter()
+                .map(|mean| Component { weight: 1.0 / k as f64, mean, cov: cov.clone() })
+                .collect()
+        };
+        let mut comps = [init_components(self.k1, rng), init_components(self.k2, rng)];
+        let mut resp = [
+            vec![vec![1.0 / self.k1 as f64; self.k1]; n],
+            vec![vec![1.0 / self.k2 as f64; self.k2]; n],
+        ];
+        let mut lls = [0.0f64; 2];
+        let mut iterations = 0;
+
+        for it in 0..self.max_iter {
+            iterations = it + 1;
+            for m in 0..2 {
+                let other = 1 - m;
+                lls[m] = e_step(data, &comps[m], &mut resp[m]);
+                m_step(data, &resp[m], &mut comps[m], d, self.reg);
+                if self.mu > 0.0 {
+                    let other_comps = comps[other].clone();
+                    repel_means(&mut comps[m], &other_comps, self.mu, rng);
+                }
+            }
+        }
+        // Final E-step for honest likelihoods and assignments.
+        for m in 0..2 {
+            lls[m] = e_step(data, &comps[m], &mut resp[m]);
+        }
+        let mi = soft_mutual_information(&resp[0], &resp[1]);
+        let overlap = component_overlap(&comps[0], &comps[1]);
+        let soft0 = SoftClustering::new(normalize_rows(resp[0].clone()));
+        let soft1 = SoftClustering::new(normalize_rows(resp[1].clone()));
+        CamiResult {
+            clusterings: [soft0.to_hard(), soft1.to_hard()],
+            soft: [soft0, soft1],
+            components: comps,
+            objective: lls[0] + lls[1] - self.mu * overlap,
+            mutual_information: mi,
+            overlap,
+            iterations,
+        }
+    }
+
+    /// Taxonomy card (slide 116 row "(Dang & Bailey, 2010a)").
+    pub fn card() -> AlgorithmCard {
+        AlgorithmCard {
+            name: "CAMI",
+            reference: "Dang & Bailey 2010a",
+            space: SearchSpace::Original,
+            processing: Processing::Simultaneous,
+            knowledge: GivenKnowledge::None,
+            solutions: Solutions::AtLeastTwo,
+            subspace: SubspaceAwareness::NotApplicable,
+            flexibility: Flexibility::Specialized,
+        }
+    }
+}
+
+/// Mutual information (nats) between two soft clusterings, from the joint
+/// soft-count distribution `p(a,b) = (1/n) Σ_i r₁[i][a]·r₂[i][b]`.
+pub fn soft_mutual_information(r1: &[Vec<f64>], r2: &[Vec<f64>]) -> f64 {
+    let n = r1.len() as f64;
+    if r1.is_empty() {
+        return 0.0;
+    }
+    let k1 = r1[0].len();
+    let k2 = r2[0].len();
+    let mut joint = vec![vec![0.0; k2]; k1];
+    for (ra, rb) in r1.iter().zip(r2) {
+        for (a, &pa) in ra.iter().enumerate() {
+            for (b, &pb) in rb.iter().enumerate() {
+                joint[a][b] += pa * pb;
+            }
+        }
+    }
+    let mut pa = vec![0.0; k1];
+    let mut pb = vec![0.0; k2];
+    for (a, row) in joint.iter_mut().enumerate() {
+        for (b, cell) in row.iter_mut().enumerate() {
+            *cell /= n;
+            pa[a] += *cell;
+            pb[b] += *cell;
+        }
+    }
+    let mut mi = 0.0;
+    for (a, row) in joint.iter().enumerate() {
+        for (b, &p) in row.iter().enumerate() {
+            if p > 1e-300 && pa[a] > 0.0 && pb[b] > 0.0 {
+                mi += p * (p / (pa[a] * pb[b])).ln();
+            }
+        }
+    }
+    mi.max(0.0)
+}
+
+/// Component-pair overlap `Σ_{j,j'} λ_j λ_{j'} exp(−‖μ_j−μ_{j'}‖²/(2s²))`,
+/// the parameter-level surrogate for `I(Θ₁,Θ₂)`; `s²` is the mean
+/// per-dimension variance across all components of both models.
+pub fn component_overlap(a: &[Component], b: &[Component]) -> f64 {
+    let s2 = bandwidth_sq(a, b);
+    let mut total = 0.0;
+    for ca in a {
+        for cb in b {
+            let d2 = sq_dist(&ca.mean, &cb.mean);
+            total += ca.weight * cb.weight * (-d2 / (2.0 * s2)).exp();
+        }
+    }
+    total
+}
+
+fn bandwidth_sq(a: &[Component], b: &[Component]) -> f64 {
+    let mut s = 0.0;
+    let mut count = 0.0;
+    for c in a.iter().chain(b) {
+        s += c.cov.trace() / c.mean.len() as f64;
+        count += 1.0;
+    }
+    (s / count).max(1e-12)
+}
+
+/// Moves each mean of `comps` along the gradient that *decreases* its
+/// overlap with `other`'s components: `μ_j ← μ_j + μ Σ_{j'} K·(μ_j−μ_{j'})`.
+/// Coincident means receive a random jitter of scale `0.1·s` to break the
+/// tie. Forces vanish once components are separated (K → 0), so genuinely
+/// alternative placements are fixed points.
+fn repel_means(comps: &mut [Component], other: &[Component], mu: f64, rng: &mut StdRng) {
+    let s2 = bandwidth_sq(comps, other);
+    let s = s2.sqrt();
+    for c in comps.iter_mut() {
+        let mut push = vec![0.0; c.mean.len()];
+        for o in other {
+            let d2 = sq_dist(&c.mean, &o.mean);
+            let k = (-d2 / (2.0 * s2)).exp();
+            if k < 1e-6 {
+                continue;
+            }
+            if d2 < 1e-12 * s2 {
+                // Tie: jitter.
+                for p in push.iter_mut() {
+                    *p += k * 0.1 * s * gauss(rng);
+                }
+            } else {
+                for (p, (&m, &om)) in push.iter_mut().zip(c.mean.iter().zip(&o.mean)) {
+                    *p += k * (m - om);
+                }
+            }
+        }
+        for (m, p) in c.mean.iter_mut().zip(&push) {
+            *m += mu * p;
+        }
+    }
+}
+
+/// One standard E-step; returns the total log-likelihood.
+fn e_step(data: &Dataset, comps: &[Component], resp: &mut [Vec<f64>]) -> f64 {
+    let factors: Vec<(Cholesky, f64)> = comps
+        .iter()
+        .map(|c| {
+            let ch = Cholesky::new(&c.cov).expect("regularised covariance is SPD");
+            let log_norm = -0.5
+                * (c.mean.len() as f64 * (2.0 * std::f64::consts::PI).ln() + ch.log_det());
+            (ch, log_norm)
+        })
+        .collect();
+    let mut total_ll = 0.0;
+    for (i, row) in data.rows().enumerate() {
+        let log_p: Vec<f64> = comps
+            .iter()
+            .zip(&factors)
+            .map(|(c, (ch, log_norm))| {
+                c.weight.max(1e-300).ln() + log_norm - 0.5 * ch.mahalanobis_sq(row, &c.mean)
+            })
+            .collect();
+        let max = log_p.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v));
+        let log_sum = max + log_p.iter().map(|&l| (l - max).exp()).sum::<f64>().ln();
+        total_ll += log_sum;
+        for (r, &l) in resp[i].iter_mut().zip(&log_p) {
+            *r = (l - log_sum).exp();
+        }
+    }
+    total_ll
+}
+
+/// Standard weighted Gaussian M-step with ridge regularisation.
+fn m_step(data: &Dataset, resp: &[Vec<f64>], comps: &mut [Component], d: usize, reg: f64) {
+    let n = data.len() as f64;
+    for (j, comp) in comps.iter_mut().enumerate() {
+        let nj: f64 = resp.iter().map(|r| r[j]).sum::<f64>().max(1e-12);
+        comp.weight = nj / n;
+        let mut mean = vec![0.0; d];
+        for (row, r) in data.rows().zip(resp) {
+            for (m, &x) in mean.iter_mut().zip(row) {
+                *m += r[j] * x;
+            }
+        }
+        for m in &mut mean {
+            *m /= nj;
+        }
+        let mut cov = Matrix::zeros(d, d);
+        for (row, r) in data.rows().zip(resp) {
+            let w = r[j];
+            if w == 0.0 {
+                continue;
+            }
+            for a in 0..d {
+                let da = row[a] - mean[a];
+                for b in a..d {
+                    cov[(a, b)] += w * da * (row[b] - mean[b]);
+                }
+            }
+        }
+        for a in 0..d {
+            for b in a..d {
+                let v = cov[(a, b)] / nj;
+                cov[(a, b)] = v;
+                cov[(b, a)] = v;
+            }
+            cov[(a, a)] += reg;
+        }
+        comp.mean = mean;
+        comp.cov = cov;
+    }
+}
+
+fn global_covariance(data: &Dataset, reg: f64) -> Matrix {
+    let d = data.dims();
+    let n = data.len() as f64;
+    let mean = data.mean();
+    let mut cov = Matrix::zeros(d, d);
+    for row in data.rows() {
+        for a in 0..d {
+            let da = row[a] - mean[a];
+            for b in a..d {
+                cov[(a, b)] += da * (row[b] - mean[b]);
+            }
+        }
+    }
+    for a in 0..d {
+        for b in a..d {
+            let v = cov[(a, b)] / n;
+            cov[(a, b)] = v;
+            cov[(b, a)] = v;
+        }
+        cov[(a, a)] += reg;
+    }
+    cov
+}
+
+/// Renormalises rows to sum exactly to one (guards `SoftClustering`'s
+/// validation against accumulated rounding).
+fn normalize_rows(mut rows: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+    for row in &mut rows {
+        let s: f64 = row.iter().sum();
+        if s > 0.0 {
+            for x in row.iter_mut() {
+                *x /= s;
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiclust_core::measures::diss::adjusted_rand_index;
+    use multiclust_data::synthetic::four_blob_square;
+    use multiclust_data::seeded_rng;
+
+    #[test]
+    fn recovers_two_decorrelated_views() {
+        let mut rng = seeded_rng(111);
+        let fb = four_blob_square(30, 10.0, 0.7, &mut rng);
+        let horizontal = Clustering::from_labels(&fb.horizontal);
+        let vertical = Clustering::from_labels(&fb.vertical);
+        let mut best = f64::NEG_INFINITY;
+        for _ in 0..8 {
+            let res = Cami::new(2, 2, 1.0).fit(&fb.dataset, &mut rng);
+            let a = adjusted_rand_index(&res.clusterings[0], &horizontal)
+                .min(adjusted_rand_index(&res.clusterings[1], &vertical));
+            let b = adjusted_rand_index(&res.clusterings[1], &horizontal)
+                .min(adjusted_rand_index(&res.clusterings[0], &vertical));
+            best = best.max(a.max(b));
+        }
+        assert!(best > 0.85, "CAMI recovers both planted views: {best}");
+    }
+
+    #[test]
+    fn mu_reduces_mutual_information() {
+        let mut rng = seeded_rng(112);
+        let fb = four_blob_square(25, 10.0, 0.7, &mut rng);
+        let mut mi_free = 0.0;
+        let mut mi_pen = 0.0;
+        for _ in 0..5 {
+            mi_free += Cami::new(2, 2, 0.0).fit(&fb.dataset, &mut rng).mutual_information;
+            mi_pen += Cami::new(2, 2, 1.0).fit(&fb.dataset, &mut rng).mutual_information;
+        }
+        assert!(
+            mi_pen < mi_free,
+            "penalty lowers inter-clustering MI: {mi_pen} vs {mi_free}"
+        );
+    }
+
+    #[test]
+    fn soft_mi_of_identical_vs_independent() {
+        // Identical hard assignments → MI = ln 2 for balanced 2-clusterings.
+        let hard = vec![vec![1.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0], vec![0.0, 1.0]];
+        let mi_same = soft_mutual_information(&hard, &hard);
+        assert!((mi_same - std::f64::consts::LN_2).abs() < 1e-9);
+        // Independent assignments → MI = 0.
+        let other = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![0.0, 1.0]];
+        assert!(soft_mutual_information(&hard, &other) < 1e-9);
+        // Uniform soft assignments carry no information at all.
+        let uniform = vec![vec![0.5, 0.5]; 4];
+        assert!(soft_mutual_information(&uniform, &uniform) < 1e-9);
+    }
+
+    #[test]
+    fn overlap_is_permutation_invariant() {
+        let c = |x: f64, y: f64| Component {
+            weight: 0.5,
+            mean: vec![x, y],
+            cov: Matrix::identity(2),
+        };
+        let a = vec![c(0.0, 0.0), c(5.0, 0.0)];
+        let b_fwd = vec![c(0.0, 0.0), c(5.0, 0.0)];
+        let b_swap = vec![c(5.0, 0.0), c(0.0, 0.0)];
+        let o1 = component_overlap(&a, &b_fwd);
+        let o2 = component_overlap(&a, &b_swap);
+        assert!((o1 - o2).abs() < 1e-12, "label swap cannot hide overlap");
+        let b_far = vec![c(0.0, 50.0), c(5.0, 50.0)];
+        assert!(component_overlap(&a, &b_far) < 0.01 * o1);
+    }
+
+    #[test]
+    fn objective_and_counts_are_finite() {
+        let mut rng = seeded_rng(113);
+        let fb = four_blob_square(10, 8.0, 0.8, &mut rng);
+        let res = Cami::new(2, 3, 1.0).fit(&fb.dataset, &mut rng);
+        assert!(res.objective.is_finite());
+        assert_eq!(res.clusterings[0].len(), 40);
+        assert_eq!(res.soft[1].num_clusters(), 3);
+        assert_eq!(res.components[0].len(), 2);
+        assert!(res.iterations > 0);
+        assert!(res.overlap >= 0.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Chaining strategies for generating more than one alternative —
+//! the drawback discussion of slides 37–38.
+//!
+//! Alternative-clustering methods produce *one* alternative to the given
+//! knowledge. To obtain `m > 2` solutions the tutorial contrasts
+//!
+//! * the **naive chain** `C₁ → C₂ → C₃ → …`, where each step conditions
+//!   only on the immediately preceding solution — `Diss(C₁,C₂)` and
+//!   `Diss(C₂,C₃)` are high, but nothing keeps `C₃` away from `C₁`
+//!   ("often/usually they should be very similar"), and
+//! * the **cumulative chain**, where step `t` conditions on *all* previous
+//!   solutions (`given Clust₁ and Clust₂ → extract Clust₃ …`).
+//!
+//! Experiment E5 quantifies the difference. Both strategies wrap any
+//! [`AlternativeClusterer`].
+
+use multiclust_core::Clustering;
+use multiclust_data::Dataset;
+use rand::rngs::StdRng;
+
+use crate::AlternativeClusterer;
+
+/// Runs the naive chain: returns `[C₂, …, C_{m}]` where each solution is an
+/// alternative only to its predecessor (with `C₁ = initial`).
+pub fn naive_chain(
+    alt: &dyn AlternativeClusterer,
+    data: &Dataset,
+    initial: &Clustering,
+    extra: usize,
+    rng: &mut StdRng,
+) -> Vec<Clustering> {
+    let mut out: Vec<Clustering> = Vec::with_capacity(extra);
+    let mut previous = initial.clone();
+    for _ in 0..extra {
+        let next = alt.alternative(data, &[&previous], rng);
+        previous = next.clone();
+        out.push(next);
+    }
+    out
+}
+
+/// Runs the cumulative chain: solution `t` is an alternative to `initial`
+/// **and** every solution generated so far.
+pub fn cumulative_chain(
+    alt: &dyn AlternativeClusterer,
+    data: &Dataset,
+    initial: &Clustering,
+    extra: usize,
+    rng: &mut StdRng,
+) -> Vec<Clustering> {
+    let mut out: Vec<Clustering> = Vec::with_capacity(extra);
+    for _ in 0..extra {
+        let mut given: Vec<&Clustering> = vec![initial];
+        given.extend(out.iter());
+        out.push(alt.alternative(data, &given, rng));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::min_centropy::MinCEntropy;
+    use multiclust_core::measures::diss::adjusted_rand_index;
+    use multiclust_data::synthetic::{planted_views, ViewSpec};
+    use multiclust_data::seeded_rng;
+
+    /// Three independent planted views: the cumulative chain should cover
+    /// them; the naive chain is free to oscillate back to view 1.
+    #[test]
+    fn cumulative_chain_keeps_all_pairs_dissimilar() {
+        let mut rng = seeded_rng(131);
+        let spec = ViewSpec { dims: 2, clusters: 2, separation: 12.0, noise: 0.8 };
+        let planted = planted_views(120, &[spec, spec, spec], 0, &mut rng);
+        let initial = Clustering::from_labels(&planted.truths[0]);
+        let alt = MinCEntropy::new(2, 3.0);
+
+        let chain = cumulative_chain(&alt, &planted.dataset, &initial, 2, &mut rng);
+        assert_eq!(chain.len(), 2);
+        // All three solutions pairwise dissimilar.
+        let all = [&initial, &chain[0], &chain[1]];
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                let ari = adjusted_rand_index(all[i], all[j]);
+                assert!(ari < 0.5, "pair ({i},{j}) too similar: {ari}");
+            }
+        }
+    }
+
+    #[test]
+    fn naive_chain_produces_requested_count() {
+        let mut rng = seeded_rng(132);
+        let spec = ViewSpec { dims: 2, clusters: 2, separation: 12.0, noise: 0.8 };
+        let planted = planted_views(80, &[spec, spec], 0, &mut rng);
+        let initial = Clustering::from_labels(&planted.truths[0]);
+        let alt = MinCEntropy::new(2, 3.0);
+        let chain = naive_chain(&alt, &planted.dataset, &initial, 3, &mut rng);
+        assert_eq!(chain.len(), 3);
+        // Consecutive solutions are dissimilar by construction.
+        let d01 = adjusted_rand_index(&initial, &chain[0]);
+        assert!(d01 < 0.5, "first alternative diverges from initial: {d01}");
+    }
+}

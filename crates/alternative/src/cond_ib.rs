@@ -1,0 +1,362 @@
+//! Hard conditional information bottleneck (Gondek & Hofmann 2003/2004) —
+//! slides 35–36.
+//!
+//! The information bottleneck clusters objects `X` by compressing them into
+//! `C` while preserving information about their features `Y`:
+//! minimise `F(C) = I(X;C) − β·I(Y;C)`. Gondek & Hofmann's *conditional* IB
+//! injects a given clustering `D` by preserving only information about `Y`
+//! **beyond** what `D` already explains:
+//!
+//! ```text
+//! minimise  F₂(C) = I(X;C) − β · I(Y;C | D)
+//! ```
+//!
+//! This module implements the hard (sequential) variant: for a hard
+//! clustering with uniform `p(x)`, `I(X;C) = H(C)`, and the optimiser
+//! repeatedly removes one object and reinserts it into the cluster that
+//! minimises `F₂`, until no move improves — the standard sequential-IB
+//! scheme. Features enter through the empirical conditionals
+//! `p(y|x) ∝ feature value`, so the data must be non-negative; callers can
+//! min-max normalise first (the joint distribution requirement noted on
+//! slide 36).
+
+use multiclust_core::taxonomy::{
+    AlgorithmCard, Flexibility, GivenKnowledge, Processing, SearchSpace, Solutions,
+    SubspaceAwareness,
+};
+use multiclust_core::Clustering;
+use multiclust_data::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::AlternativeClusterer;
+
+/// Hard conditional information bottleneck configuration.
+#[derive(Clone, Debug)]
+pub struct ConditionalIb {
+    k: usize,
+    beta: f64,
+    max_sweeps: usize,
+}
+
+impl ConditionalIb {
+    /// `k` output clusters with preservation weight `β` (larger β leans on
+    /// preserving feature information; the tutorial's trade-off between
+    /// compression and preservation, slide 35).
+    pub fn new(k: usize, beta: f64) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        assert!(beta > 0.0, "β must be positive");
+        Self { k, beta, max_sweeps: 30 }
+    }
+
+    /// Sets the maximum sequential sweeps.
+    #[must_use]
+    pub fn with_max_sweeps(mut self, max_sweeps: usize) -> Self {
+        self.max_sweeps = max_sweeps;
+        self
+    }
+
+    /// Runs the sequential optimisation. `given = None` degenerates to the
+    /// plain information bottleneck (a trivial one-cluster `D` conditions
+    /// on nothing).
+    ///
+    /// # Panics
+    /// Panics if the data contains negative values, sizes mismatch, or
+    /// `n < k`.
+    pub fn fit(
+        &self,
+        data: &Dataset,
+        given: Option<&Clustering>,
+        rng: &mut StdRng,
+    ) -> Clustering {
+        let n = data.len();
+        assert!(n >= self.k, "need at least k objects");
+        assert!(
+            data.as_slice().iter().all(|&x| x >= 0.0),
+            "IB requires non-negative features (p(y|x) ∝ value); min-max normalise first"
+        );
+        let trivial = Clustering::from_labels(&vec![0usize; n]);
+        let d_clust = given.unwrap_or(&trivial);
+        assert_eq!(d_clust.len(), n, "given clustering size mismatch");
+
+        // Empirical conditionals p(y|x): rows normalised to sum 1 (objects
+        // with all-zero rows get a uniform conditional).
+        let dims = data.dims();
+        let py_given_x: Vec<Vec<f64>> = data
+            .rows()
+            .map(|row| {
+                let s: f64 = row.iter().sum();
+                if s > 0.0 {
+                    row.iter().map(|&x| x / s).collect()
+                } else {
+                    vec![1.0 / dims as f64; dims]
+                }
+            })
+            .collect();
+
+        // Random initial partition with all k labels present.
+        let mut labels: Vec<usize> = (0..n).map(|i| i % self.k).collect();
+        labels.shuffle(rng);
+
+        let mut order: Vec<usize> = (0..n).collect();
+        for _ in 0..self.max_sweeps {
+            order.shuffle(rng);
+            let mut moved = false;
+            for &i in &order {
+                let current = labels[i];
+                // Never empty a cluster completely.
+                let count_current = labels.iter().filter(|&&l| l == current).count();
+                if count_current <= 1 {
+                    continue;
+                }
+                let mut best = (current, f64::INFINITY);
+                for c in 0..self.k {
+                    labels[i] = c;
+                    let f = self.objective(&labels, &py_given_x, d_clust);
+                    if f < best.1 - 1e-12 {
+                        best = (c, f);
+                    }
+                }
+                labels[i] = best.0;
+                if best.0 != current {
+                    moved = true;
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        let _ = rng.gen::<u32>(); // advance stream so successive calls differ
+        Clustering::from_labels(&labels)
+    }
+
+    /// Best-of-`restarts` variant: the sequential optimiser is greedy and
+    /// sensitive to its random initial partition, so production use runs
+    /// several restarts and keeps the solution with the smallest `F₂`.
+    pub fn fit_with_restarts(
+        &self,
+        data: &Dataset,
+        given: Option<&Clustering>,
+        restarts: usize,
+        rng: &mut StdRng,
+    ) -> Clustering {
+        assert!(restarts >= 1, "at least one restart required");
+        let mut best: Option<(f64, Clustering)> = None;
+        for _ in 0..restarts {
+            let c = self.fit(data, given, rng);
+            let f = self.evaluate_objective(data, &c, given);
+            if best.as_ref().is_none_or(|(bf, _)| f < *bf) {
+                best = Some((f, c));
+            }
+        }
+        best.expect("restarts >= 1").1
+    }
+
+    /// Evaluates `F₂(C) = H(C) − β·I(Y;C|D)` for an arbitrary hard
+    /// clustering (smaller is better under this model).
+    pub fn evaluate_objective(
+        &self,
+        data: &Dataset,
+        clustering: &Clustering,
+        given: Option<&Clustering>,
+    ) -> f64 {
+        let n = data.len();
+        assert_eq!(clustering.len(), n, "clustering size mismatch");
+        let dims = data.dims();
+        let py_given_x: Vec<Vec<f64>> = data
+            .rows()
+            .map(|row| {
+                let s: f64 = row.iter().sum();
+                if s > 0.0 {
+                    row.iter().map(|&x| x / s).collect()
+                } else {
+                    vec![1.0 / dims as f64; dims]
+                }
+            })
+            .collect();
+        let trivial = Clustering::from_labels(&vec![0usize; n]);
+        let d_clust = given.unwrap_or(&trivial);
+        let labels: Vec<usize> = (0..n)
+            .map(|i| clustering.assignment(i).unwrap_or(0))
+            .collect();
+        self.objective(&labels, &py_given_x, d_clust)
+    }
+
+    /// `F₂(C) = H(C) − β·I(Y;C|D)` for the hard partition `labels`.
+    fn objective(
+        &self,
+        labels: &[usize],
+        py_given_x: &[Vec<f64>],
+        d_clust: &Clustering,
+    ) -> f64 {
+        let n = labels.len() as f64;
+        // H(C)
+        let mut counts = vec![0usize; self.k];
+        for &l in labels {
+            counts[l] += 1;
+        }
+        let h_c: f64 = counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.ln()
+            })
+            .sum();
+
+        // I(Y;C|D) = Σ_d p(d)·I(Y;C | D=d), with each conditional MI
+        // computed from the within-stratum joint p(y,c | d).
+        let kd = d_clust.num_clusters().max(1);
+        let dims = py_given_x[0].len();
+        let mut i_cond = 0.0;
+        for d in 0..kd {
+            let stratum: Vec<usize> = (0..labels.len())
+                .filter(|&i| d_clust.assignment(i) == Some(d))
+                .collect();
+            if stratum.is_empty() {
+                continue;
+            }
+            let pd = stratum.len() as f64 / n;
+            // joint[c][y] over the stratum (p(x) uniform within stratum).
+            let mut joint = vec![vec![0.0; dims]; self.k];
+            for &i in &stratum {
+                for (y, &p) in py_given_x[i].iter().enumerate() {
+                    joint[labels[i]][y] += p / stratum.len() as f64;
+                }
+            }
+            let pc: Vec<f64> = joint.iter().map(|row| row.iter().sum()).collect();
+            let mut py = vec![0.0; dims];
+            for row in &joint {
+                for (t, &v) in py.iter_mut().zip(row) {
+                    *t += v;
+                }
+            }
+            let mut mi = 0.0;
+            for (c, row) in joint.iter().enumerate() {
+                for (y, &p) in row.iter().enumerate() {
+                    if p > 1e-300 && pc[c] > 0.0 && py[y] > 0.0 {
+                        mi += p * (p / (pc[c] * py[y])).ln();
+                    }
+                }
+            }
+            i_cond += pd * mi;
+        }
+        h_c - self.beta * i_cond
+    }
+
+    /// Taxonomy card (slide 116 row "(Gondek & Hofmann, 2004)").
+    pub fn card() -> AlgorithmCard {
+        AlgorithmCard {
+            name: "CondIB",
+            reference: "Gondek & Hofmann 2004",
+            space: SearchSpace::Original,
+            processing: Processing::Iterative,
+            knowledge: GivenKnowledge::GivenClustering,
+            solutions: Solutions::Two,
+            subspace: SubspaceAwareness::NotApplicable,
+            flexibility: Flexibility::Specialized,
+        }
+    }
+}
+
+impl AlternativeClusterer for ConditionalIb {
+    fn alternative(
+        &self,
+        data: &Dataset,
+        given: &[&Clustering],
+        rng: &mut StdRng,
+    ) -> Clustering {
+        // Multiple givens: condition on their product partition.
+        match given {
+            [] => self.fit(data, None, rng),
+            [single] => self.fit(data, Some(single), rng),
+            many => {
+                let n = data.len();
+                let mut combined = vec![0usize; n];
+                let mut stride = 1usize;
+                for g in many {
+                    for (ci, c) in combined.iter_mut().enumerate() {
+                        *c += stride * g.assignment(ci).unwrap_or(g.num_clusters());
+                    }
+                    stride *= g.num_clusters() + 1;
+                }
+                let product = Clustering::from_labels(&combined).canonicalized();
+                self.fit(data, Some(&product), rng)
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "CondIB"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiclust_core::measures::diss::adjusted_rand_index;
+    use multiclust_data::synthetic::four_blob_square;
+    use multiclust_data::seeded_rng;
+
+    fn normalized_blobs(seed: u64) -> (Dataset, Clustering, Clustering, Clustering) {
+        let mut rng = seeded_rng(seed);
+        let fb = four_blob_square(25, 10.0, 0.6, &mut rng);
+        (
+            fb.dataset.min_max_normalized(),
+            Clustering::from_labels(&fb.horizontal),
+            Clustering::from_labels(&fb.vertical),
+            Clustering::from_labels(&fb.blob),
+        )
+    }
+
+    #[test]
+    fn plain_ib_finds_feature_structure() {
+        let (data, _h, _v, blob) = normalized_blobs(121);
+        let mut rng = seeded_rng(122);
+        let mut best = f64::NEG_INFINITY;
+        for _ in 0..5 {
+            let c = ConditionalIb::new(4, 50.0).fit(&data, None, &mut rng);
+            best = best.max(adjusted_rand_index(&c, &blob));
+        }
+        // The conditionals p(y|x) in [0,1]² coordinates carry the blob
+        // structure; plain IB should recover most of it.
+        assert!(best > 0.5, "plain IB finds structure: {best}");
+    }
+
+    #[test]
+    fn conditioning_pushes_away_from_given() {
+        let (data, horizontal, _v, _blob) = normalized_blobs(123);
+        let mut rng = seeded_rng(124);
+        let mut plain_agree = 0.0;
+        let mut cond_agree = 0.0;
+        for _ in 0..5 {
+            let plain = ConditionalIb::new(2, 50.0).fit(&data, None, &mut rng);
+            let cond = ConditionalIb::new(2, 50.0).fit(&data, Some(&horizontal), &mut rng);
+            plain_agree += adjusted_rand_index(&plain, &horizontal).max(0.0);
+            cond_agree += adjusted_rand_index(&cond, &horizontal).max(0.0);
+        }
+        assert!(
+            cond_agree <= plain_agree + 1e-9,
+            "conditional IB agrees less with the given clustering: {cond_agree} vs {plain_agree}"
+        );
+    }
+
+    #[test]
+    fn rejects_negative_features() {
+        let data = Dataset::from_rows(&[vec![-1.0, 2.0], vec![1.0, 0.0]]);
+        let mut rng = seeded_rng(125);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ConditionalIb::new(2, 1.0).fit(&data, None, &mut rng)
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn every_cluster_stays_populated() {
+        let (data, _h, _v, _b) = normalized_blobs(126);
+        let mut rng = seeded_rng(127);
+        let c = ConditionalIb::new(3, 20.0).fit(&data, None, &mut rng);
+        assert!(c.sizes().iter().all(|&s| s > 0), "sizes {:?}", c.sizes());
+    }
+}

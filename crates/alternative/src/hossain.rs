@@ -1,0 +1,294 @@
+//! Disparate (and dependent) clustering via contingency tables
+//! (Hossain, Tadepalli, Watson, Davidson, Helm & Ramakrishnan 2010) —
+//! slide 44.
+//!
+//! Two prototype-based clusterings are optimised *simultaneously* so that
+//! their contingency table approaches a target shape:
+//!
+//! * **Disparate** — the uniform table: knowing an object's cluster in one
+//!   solution says nothing about the other (maximum dissimilarity);
+//! * **Dependent** — a concentrated (diagonal-like) table: the solutions
+//!   reinforce each other (the framework's other direction, noted on the
+//!   slide).
+//!
+//! Arbitrary label assignments could trivially reach either target, so —
+//! exactly as the slide argues — clusters are represented by *prototypes*
+//! and objects always pay their squared distance; the table shaping enters
+//! as a penalty in a sequential reassignment sweep with incrementally
+//! maintained joint counts (batch counts would admit degenerate relabeling
+//! fixed points).
+
+use multiclust_core::taxonomy::{
+    AlgorithmCard, Flexibility, GivenKnowledge, Processing, SearchSpace, Solutions,
+    SubspaceAwareness,
+};
+use multiclust_core::{Clustering, ContingencyTable};
+use multiclust_data::Dataset;
+use multiclust_linalg::vector::sq_dist;
+use rand::rngs::StdRng;
+
+use multiclust_base::kmeans::plus_plus_init;
+
+/// Target relationship between the two clusterings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Coupling {
+    /// Maximise contingency uniformity — disparate clusterings.
+    Disparate,
+    /// Maximise contingency concentration — dependent clusterings.
+    Dependent,
+}
+
+/// Configuration of the contingency-coupled double k-means.
+#[derive(Clone, Debug)]
+pub struct Hossain {
+    k1: usize,
+    k2: usize,
+    coupling: Coupling,
+    /// Penalty weight (dimensionless; scaled by data variance internally).
+    mu: f64,
+    max_iter: usize,
+}
+
+/// Result of a run.
+#[derive(Clone, Debug)]
+pub struct HossainResult {
+    /// The two coupled clusterings.
+    pub clusterings: [Clustering; 2],
+    /// Final contingency table between them.
+    pub contingency: ContingencyTable,
+    /// Final uniformity deviation (0 = perfectly uniform ⇒ fully
+    /// disparate; large ⇒ concentrated ⇒ dependent).
+    pub uniformity_deviation: f64,
+    /// Sweeps performed.
+    pub iterations: usize,
+}
+
+impl Hossain {
+    /// Two clusterings with `k1`/`k2` prototypes and the given coupling.
+    pub fn new(k1: usize, k2: usize, coupling: Coupling) -> Self {
+        assert!(k1 >= 1 && k2 >= 1, "cluster counts must be positive");
+        Self { k1, k2, coupling, mu: 2.0, max_iter: 60 }
+    }
+
+    /// Sets the coupling weight `μ`.
+    #[must_use]
+    pub fn with_mu(mut self, mu: f64) -> Self {
+        assert!(mu >= 0.0, "μ must be non-negative");
+        self.mu = mu;
+        self
+    }
+
+    /// Sets the sweep cap.
+    #[must_use]
+    pub fn with_max_iter(mut self, max_iter: usize) -> Self {
+        self.max_iter = max_iter;
+        self
+    }
+
+    /// Runs the alternating optimisation.
+    ///
+    /// # Panics
+    /// Panics when `n < max(k1, k2)`.
+    pub fn fit(&self, data: &Dataset, rng: &mut StdRng) -> HossainResult {
+        let n = data.len();
+        assert!(n >= self.k1.max(self.k2), "need at least max(k) objects");
+        let d = data.dims();
+        let ks = [self.k1, self.k2];
+
+        // Penalty scale relative to data variance (dimensionless μ).
+        let mean = data.mean();
+        let variance: f64 =
+            data.rows().map(|row| sq_dist(row, &mean)).sum::<f64>() / n as f64;
+        let scale = self.mu * variance.max(1e-12);
+        // Sign: disparate penalises popular joint cells, dependent rewards
+        // them.
+        let sign = match self.coupling {
+            Coupling::Disparate => 1.0,
+            Coupling::Dependent => -1.0,
+        };
+
+        let mut prototypes = [
+            plus_plus_init(data, self.k1, rng),
+            plus_plus_init(data, self.k2, rng),
+        ];
+        // Initial pure-distance assignments.
+        let mut labels: [Vec<usize>; 2] = [vec![0; n], vec![0; n]];
+        for t in 0..2 {
+            for (i, row) in data.rows().enumerate() {
+                labels[t][i] = nearest_index(row, &prototypes[t]);
+            }
+        }
+        // Joint counts, maintained incrementally: joint[c1][c2].
+        let mut joint = vec![vec![0.0f64; self.k2]; self.k1];
+        for i in 0..n {
+            joint[labels[0][i]][labels[1][i]] += 1.0;
+        }
+
+        let mut iterations = 0;
+        for it in 0..self.max_iter {
+            iterations = it + 1;
+            let mut changed = false;
+            for t in 0..2 {
+                let other = 1 - t;
+                for (i, row) in data.rows().enumerate() {
+                    // Take i out of the joint counts.
+                    joint[labels[0][i]][labels[1][i]] -= 1.0;
+                    let other_label = labels[other][i];
+                    let mut best = (labels[t][i], f64::INFINITY);
+                    for (c, proto) in prototypes[t].iter().enumerate() {
+                        let cell = match t {
+                            0 => joint[c][other_label],
+                            _ => joint[other_label][c],
+                        };
+                        // p̂(c | other's label), Laplace-smoothed.
+                        let row_total: f64 = match t {
+                            0 => (0..self.k1).map(|a| joint[a][other_label]).sum(),
+                            _ => joint[other_label].iter().sum(),
+                        };
+                        let p = (cell + 1.0) / (row_total + ks[t] as f64);
+                        let penalty =
+                            sign * scale * (p.ln() - (1.0 / ks[t] as f64).ln());
+                        let cost = sq_dist(row, proto) + penalty;
+                        if cost < best.1 {
+                            best = (c, cost);
+                        }
+                    }
+                    if best.0 != labels[t][i] {
+                        labels[t][i] = best.0;
+                        changed = true;
+                    }
+                    joint[labels[0][i]][labels[1][i]] += 1.0;
+                }
+                // Prototype update = cluster means (the quality anchor).
+                let mut sums = vec![vec![0.0; d]; ks[t]];
+                let mut counts = vec![0usize; ks[t]];
+                for (i, row) in data.rows().enumerate() {
+                    counts[labels[t][i]] += 1;
+                    for (s, &x) in sums[labels[t][i]].iter_mut().zip(row) {
+                        *s += x;
+                    }
+                }
+                for c in 0..ks[t] {
+                    if counts[c] > 0 {
+                        for s in &mut sums[c] {
+                            *s /= counts[c] as f64;
+                        }
+                        prototypes[t][c] = std::mem::take(&mut sums[c]);
+                    }
+                }
+            }
+            if !changed && it > 0 {
+                break;
+            }
+        }
+
+        let clusterings = [
+            Clustering::from_labels(&labels[0]),
+            Clustering::from_labels(&labels[1]),
+        ];
+        let contingency = ContingencyTable::new(&clusterings[0], &clusterings[1]);
+        let uniformity_deviation = contingency.uniformity_deviation();
+        HossainResult { clusterings, contingency, uniformity_deviation, iterations }
+    }
+
+    /// Taxonomy card (slide 116 row "(Hossain et al., 2010)").
+    pub fn card() -> AlgorithmCard {
+        AlgorithmCard {
+            name: "Hossain",
+            reference: "Hossain et al. 2010",
+            space: SearchSpace::Original,
+            processing: Processing::Simultaneous,
+            knowledge: GivenKnowledge::None,
+            solutions: Solutions::Two,
+            subspace: SubspaceAwareness::NotApplicable,
+            flexibility: Flexibility::Specialized,
+        }
+    }
+}
+
+fn nearest_index(row: &[f64], protos: &[Vec<f64>]) -> usize {
+    let mut best = (0usize, f64::INFINITY);
+    for (c, p) in protos.iter().enumerate() {
+        let d = sq_dist(row, p);
+        if d < best.1 {
+            best = (c, d);
+        }
+    }
+    best.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiclust_core::measures::diss::adjusted_rand_index;
+    use multiclust_data::synthetic::four_blob_square;
+    use multiclust_data::seeded_rng;
+
+    #[test]
+    fn disparate_mode_finds_both_square_splits() {
+        let mut rng = seeded_rng(261);
+        let fb = four_blob_square(30, 10.0, 0.7, &mut rng);
+        let horizontal = Clustering::from_labels(&fb.horizontal);
+        let vertical = Clustering::from_labels(&fb.vertical);
+        let mut best = f64::NEG_INFINITY;
+        for _ in 0..6 {
+            let res = Hossain::new(2, 2, Coupling::Disparate).fit(&fb.dataset, &mut rng);
+            let fwd = adjusted_rand_index(&res.clusterings[0], &horizontal)
+                .min(adjusted_rand_index(&res.clusterings[1], &vertical));
+            let rev = adjusted_rand_index(&res.clusterings[1], &horizontal)
+                .min(adjusted_rand_index(&res.clusterings[0], &vertical));
+            best = best.max(fwd.max(rev));
+        }
+        assert!(best > 0.9, "disparate clusterings match the two splits: {best}");
+    }
+
+    #[test]
+    fn disparate_tables_are_more_uniform_than_uncoupled() {
+        let mut rng = seeded_rng(262);
+        let fb = four_blob_square(25, 10.0, 0.7, &mut rng);
+        let mut dev_free = 0.0;
+        let mut dev_disp = 0.0;
+        for _ in 0..5 {
+            dev_free += Hossain::new(2, 2, Coupling::Disparate)
+                .with_mu(0.0)
+                .fit(&fb.dataset, &mut rng)
+                .uniformity_deviation;
+            dev_disp += Hossain::new(2, 2, Coupling::Disparate)
+                .fit(&fb.dataset, &mut rng)
+                .uniformity_deviation;
+        }
+        assert!(
+            dev_disp < dev_free,
+            "coupling flattens the contingency table: {dev_disp} vs {dev_free}"
+        );
+    }
+
+    #[test]
+    fn dependent_mode_aligns_the_two_clusterings() {
+        let mut rng = seeded_rng(263);
+        let fb = four_blob_square(25, 10.0, 0.7, &mut rng);
+        let mut best_alignment = f64::NEG_INFINITY;
+        for _ in 0..5 {
+            let res = Hossain::new(2, 2, Coupling::Dependent).fit(&fb.dataset, &mut rng);
+            best_alignment = best_alignment.max(adjusted_rand_index(
+                &res.clusterings[0],
+                &res.clusterings[1],
+            ));
+        }
+        assert!(
+            best_alignment > 0.9,
+            "dependent coupling reproduces the same partition twice: {best_alignment}"
+        );
+    }
+
+    #[test]
+    fn supports_asymmetric_cluster_counts() {
+        let mut rng = seeded_rng(264);
+        let fb = four_blob_square(15, 10.0, 0.7, &mut rng);
+        let res = Hossain::new(2, 4, Coupling::Disparate).fit(&fb.dataset, &mut rng);
+        assert_eq!(res.clusterings[0].num_clusters(), 2);
+        assert_eq!(res.clusterings[1].num_clusters(), 4);
+        assert_eq!(res.contingency.shape(), (2, 4));
+        assert!(res.iterations > 0);
+    }
+}

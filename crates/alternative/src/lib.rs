@@ -1,0 +1,59 @@
+//! Multiple clustering solutions **in the original data space**
+//! (tutorial section 2, slides 25–46).
+//!
+//! The methods here search for alternative groupings without transforming
+//! or projecting the data; they differ along the taxonomy's secondary axes:
+//!
+//! | module | method | processing | knowledge |
+//! |---|---|---|---|
+//! | [`meta`] | meta clustering (Caruana et al. 2006) | independent | none |
+//! | [`coala`] | COALA (Bae & Bailey 2006) | iterative | given clustering |
+//! | [`cond_ib`] | conditional information bottleneck (Gondek & Hofmann 2003/04) | iterative | given clustering |
+//! | [`dec_kmeans`] | Dec-kMeans (Jain et al. 2008) | simultaneous | none |
+//! | [`cami`] | CAMI (Dang & Bailey 2010a) | simultaneous | none |
+//! | [`hossain`] | contingency-table disparate/dependent clustering (Hossain et al. 2010) | simultaneous | none |
+//! | [`min_centropy`] | minCEntropy-style (Vinh & Epps 2010) | iterative | given clustering(s) |
+//! | [`chain`] | naive vs. cumulative chaining of any alternative clusterer (the drawback discussion of slides 37–38) | iterative | — |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cami;
+pub mod chain;
+pub mod coala;
+pub mod cond_ib;
+pub mod dec_kmeans;
+pub mod hossain;
+pub mod meta;
+pub mod min_centropy;
+
+pub use cami::Cami;
+pub use coala::Coala;
+pub use cond_ib::ConditionalIb;
+pub use dec_kmeans::DecKMeans;
+pub use hossain::Hossain;
+pub use meta::MetaClustering;
+pub use min_centropy::MinCEntropy;
+
+use multiclust_core::Clustering;
+use multiclust_data::Dataset;
+use rand::rngs::StdRng;
+
+/// An algorithm that produces a clustering *alternative to* one or more
+/// given clusterings — the common shape of the knowledge-driven methods
+/// (slide 30: "given clustering Clust₁ and functions Q, Diss, find Clust₂
+/// such that Q(Clust₂) and Diss(Clust₁, Clust₂) are high").
+///
+/// Object-safe so chaining strategies ([`chain`]) can wrap any of them.
+pub trait AlternativeClusterer {
+    /// Produces a clustering dissimilar to every clustering in `given`.
+    fn alternative(
+        &self,
+        data: &Dataset,
+        given: &[&Clustering],
+        rng: &mut StdRng,
+    ) -> Clustering;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}

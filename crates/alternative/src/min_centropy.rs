@@ -1,0 +1,283 @@
+//! Conditional-entropy regularised alternative k-means, after minCEntropy
+//! (Vinh & Epps 2010) — slide 34's "based on conditional entropy, able to
+//! use a set of clusterings as input".
+//!
+//! The alternative clustering `C` should keep the conditional entropy
+//! `H(C | Given_g)` *high* for every given clustering — knowing the old
+//! labels should say nothing about the new ones — while staying compact.
+//! We optimise a Lloyd-style alternation whose assignment step charges,
+//! on top of the squared centroid distance, a penalty proportional to
+//! `log p̂(c | g_g(i))`: placing object `i` in a cluster that is already
+//! *popular among objects sharing its old label* recreates the given
+//! structure and is discouraged. (minCEntropy proper optimises the same
+//! objective with kernel density estimates; the parametric centroid form
+//! here keeps the substrate exchangeable with the rest of the workspace —
+//! see DESIGN.md.)
+
+use multiclust_core::taxonomy::{
+    AlgorithmCard, Flexibility, GivenKnowledge, Processing, SearchSpace, Solutions,
+    SubspaceAwareness,
+};
+use multiclust_core::Clustering;
+use multiclust_data::Dataset;
+use multiclust_linalg::vector::sq_dist;
+use rand::rngs::StdRng;
+
+use multiclust_base::kmeans::plus_plus_init;
+
+use crate::AlternativeClusterer;
+
+/// Configuration of the conditional-entropy alternative k-means.
+#[derive(Clone, Debug)]
+pub struct MinCEntropy {
+    k: usize,
+    /// Penalty weight trading compactness against novelty.
+    weight: f64,
+    max_iter: usize,
+    /// Laplace smoothing for the `p̂(c|g)` estimates.
+    smoothing: f64,
+}
+
+impl MinCEntropy {
+    /// `k` output clusters, penalty `weight`, 100 iterations.
+    ///
+    /// # Panics
+    /// Panics unless `k ≥ 1` and `weight ≥ 0`.
+    pub fn new(k: usize, weight: f64) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        assert!(weight >= 0.0, "weight must be non-negative");
+        Self { k, weight, max_iter: 100, smoothing: 1.0 }
+    }
+
+    /// Sets the maximum Lloyd iterations.
+    #[must_use]
+    pub fn with_max_iter(mut self, max_iter: usize) -> Self {
+        self.max_iter = max_iter;
+        self
+    }
+
+    /// Runs the penalised alternation against the given clusterings.
+    ///
+    /// # Panics
+    /// Panics on size mismatches or `n < k`.
+    pub fn fit(
+        &self,
+        data: &Dataset,
+        given: &[&Clustering],
+        rng: &mut StdRng,
+    ) -> Clustering {
+        let n = data.len();
+        assert!(n >= self.k, "need at least k objects");
+        for g in given {
+            assert_eq!(g.len(), n, "given clustering size mismatch");
+        }
+        let d = data.dims();
+
+        // Scale the penalty relative to the data's variance so `weight` is
+        // dimensionless.
+        let mean = data.mean();
+        let variance: f64 = data
+            .rows()
+            .map(|row| sq_dist(row, &mean))
+            .sum::<f64>()
+            / n as f64;
+        let penalty_scale = self.weight * variance.max(1e-12);
+
+        let mut centroids = plus_plus_init(data, self.k, rng);
+        // Initial pure-distance assignment to seed the joint counts.
+        let mut labels: Vec<usize> = data
+            .rows()
+            .map(|row| {
+                centroids
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| {
+                        sq_dist(row, a.1).partial_cmp(&sq_dist(row, b.1)).unwrap()
+                    })
+                    .map(|(c, _)| c)
+                    .expect("k >= 1")
+            })
+            .collect();
+        // joint[g][old][c] — maintained *incrementally* during the
+        // sequential assignment sweep. Batch updates would admit the
+        // degenerate "label swap" fixed point (moving every object to the
+        // anti-correlated cluster reproduces the given partition under a
+        // relabelling); sequential updates make the counts react as objects
+        // move, which drives each old-label group towards a *balanced*
+        // spread over new clusters — genuinely high `H(C|G)`.
+        let mut joint: Vec<Vec<Vec<f64>>> = given
+            .iter()
+            .map(|g| {
+                let mut counts = vec![vec![0.0; self.k]; g.num_clusters()];
+                for (i, &c) in labels.iter().enumerate() {
+                    if let Some(old) = g.assignment(i) {
+                        counts[old][c] += 1.0;
+                    }
+                }
+                counts
+            })
+            .collect();
+
+        for it in 0..self.max_iter {
+            let mut changed = false;
+            for (i, row) in data.rows().enumerate() {
+                // Take object i out of the counts while scoring it.
+                for (g, counts_g) in given.iter().zip(joint.iter_mut()) {
+                    if let Some(old) = g.assignment(i) {
+                        counts_g[old][labels[i]] -= 1.0;
+                    }
+                }
+                let mut best = (0usize, f64::INFINITY);
+                for (c, centroid) in centroids.iter().enumerate() {
+                    let mut cost = sq_dist(row, centroid);
+                    for (g, counts_g) in given.iter().zip(&joint) {
+                        if let Some(old) = g.assignment(i) {
+                            let row_counts = &counts_g[old];
+                            let total: f64 = row_counts.iter().sum::<f64>()
+                                + self.k as f64 * self.smoothing;
+                            let p = (row_counts[c] + self.smoothing) / total;
+                            // log p ∈ (−∞, 0]: popular (c | old) pairs cost
+                            // more (−H(C|G) contribution), centred at the
+                            // uniform baseline so the penalty vanishes when
+                            // C ⊥ Given.
+                            cost += penalty_scale
+                                * (p.ln() - (1.0 / self.k as f64).ln());
+                        }
+                    }
+                    if cost < best.1 {
+                        best = (c, cost);
+                    }
+                }
+                if labels[i] != best.0 {
+                    labels[i] = best.0;
+                    changed = true;
+                }
+                for (g, counts_g) in given.iter().zip(joint.iter_mut()) {
+                    if let Some(old) = g.assignment(i) {
+                        counts_g[old][labels[i]] += 1.0;
+                    }
+                }
+            }
+            // Centroid update.
+            let mut sums = vec![vec![0.0; d]; self.k];
+            let mut counts = vec![0usize; self.k];
+            for (i, row) in data.rows().enumerate() {
+                counts[labels[i]] += 1;
+                for (s, &x) in sums[labels[i]].iter_mut().zip(row) {
+                    *s += x;
+                }
+            }
+            for c in 0..self.k {
+                if counts[c] > 0 {
+                    for s in &mut sums[c] {
+                        *s /= counts[c] as f64;
+                    }
+                    centroids[c] = std::mem::take(&mut sums[c]);
+                }
+            }
+            if !changed && it > 0 {
+                break;
+            }
+        }
+        Clustering::from_labels(&labels)
+    }
+
+    /// Taxonomy card (slide 116-adjacent row "(Vinh & Epps, 2010)").
+    pub fn card() -> AlgorithmCard {
+        AlgorithmCard {
+            name: "MinCEntropy",
+            reference: "Vinh & Epps 2010",
+            space: SearchSpace::Original,
+            processing: Processing::Iterative,
+            knowledge: GivenKnowledge::GivenClustering,
+            solutions: Solutions::AtLeastTwo,
+            subspace: SubspaceAwareness::NotApplicable,
+            flexibility: Flexibility::Specialized,
+        }
+    }
+}
+
+impl AlternativeClusterer for MinCEntropy {
+    fn alternative(
+        &self,
+        data: &Dataset,
+        given: &[&Clustering],
+        rng: &mut StdRng,
+    ) -> Clustering {
+        self.fit(data, given, rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "MinCEntropy"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiclust_core::measures::diss::{adjusted_rand_index, conditional_entropy};
+    use multiclust_data::synthetic::four_blob_square;
+    use multiclust_data::seeded_rng;
+
+    #[test]
+    fn finds_the_orthogonal_split() {
+        let mut rng = seeded_rng(101);
+        let fb = four_blob_square(30, 10.0, 0.7, &mut rng);
+        let given = Clustering::from_labels(&fb.horizontal);
+        let vertical = Clustering::from_labels(&fb.vertical);
+        let mut best = f64::NEG_INFINITY;
+        for _ in 0..5 {
+            let alt = MinCEntropy::new(2, 2.0).fit(&fb.dataset, &[&given], &mut rng);
+            best = best.max(adjusted_rand_index(&alt, &vertical));
+        }
+        assert!(best > 0.9, "vertical split recovered: {best}");
+    }
+
+    #[test]
+    fn zero_weight_reduces_to_kmeans_quality() {
+        let mut rng = seeded_rng(102);
+        let fb = four_blob_square(20, 10.0, 0.6, &mut rng);
+        let given = Clustering::from_labels(&fb.horizontal);
+        let blob = Clustering::from_labels(&fb.blob);
+        let mut best = f64::NEG_INFINITY;
+        for _ in 0..5 {
+            let alt = MinCEntropy::new(4, 0.0).fit(&fb.dataset, &[&given], &mut rng);
+            best = best.max(adjusted_rand_index(&alt, &blob));
+        }
+        // With k=4 and no penalty the blobs themselves are found.
+        assert!(best > 0.9, "plain k-means quality retained: {best}");
+    }
+
+    #[test]
+    fn penalty_raises_conditional_entropy() {
+        let mut rng = seeded_rng(103);
+        let fb = four_blob_square(25, 10.0, 0.7, &mut rng);
+        let given = Clustering::from_labels(&fb.horizontal);
+        let mut h_free = 0.0;
+        let mut h_pen = 0.0;
+        for _ in 0..5 {
+            let free = MinCEntropy::new(2, 0.0).fit(&fb.dataset, &[&given], &mut rng);
+            let pen = MinCEntropy::new(2, 3.0).fit(&fb.dataset, &[&given], &mut rng);
+            h_free += conditional_entropy(&free, &given);
+            h_pen += conditional_entropy(&pen, &given);
+        }
+        assert!(
+            h_pen >= h_free,
+            "penalised solutions carry more novel information: {h_pen} vs {h_free}"
+        );
+    }
+
+    #[test]
+    fn accepts_multiple_given_clusterings() {
+        let mut rng = seeded_rng(104);
+        let fb = four_blob_square(15, 10.0, 0.7, &mut rng);
+        let g1 = Clustering::from_labels(&fb.horizontal);
+        let g2 = Clustering::from_labels(&fb.vertical);
+        let alt = MinCEntropy::new(2, 2.0).fit(&fb.dataset, &[&g1, &g2], &mut rng);
+        assert_eq!(alt.len(), 60);
+        // Both planted views are "used up": the result should match
+        // neither strongly.
+        assert!(adjusted_rand_index(&alt, &g1) < 0.7);
+        assert!(adjusted_rand_index(&alt, &g2) < 0.7);
+    }
+}

@@ -1,0 +1,195 @@
+//! DBSCAN density-based clustering (Ester et al. 1996).
+//!
+//! The density substrate of the tutorial: SUBCLU runs DBSCAN in subspace
+//! projections (slide 74) and the multi-view adaptation of Kailing et al.
+//! redefines its core-object property over several sources
+//! (slides 105–107). The implementation therefore exposes the neighbourhood
+//! and core predicates separately so those adaptations can reuse them.
+
+use multiclust_core::Clustering;
+use multiclust_data::Dataset;
+use multiclust_linalg::vector::sq_dist;
+use rand::rngs::StdRng;
+
+use crate::Clusterer;
+
+/// DBSCAN configuration: `eps`-neighbourhood radius and `min_pts` density
+/// threshold (the core-object test counts the object itself, following the
+/// original paper).
+#[derive(Clone, Copy, Debug)]
+pub struct Dbscan {
+    eps: f64,
+    min_pts: usize,
+}
+
+impl Dbscan {
+    /// Creates a DBSCAN configuration.
+    ///
+    /// # Panics
+    /// Panics unless `eps > 0` and `min_pts ≥ 1`.
+    pub fn new(eps: f64, min_pts: usize) -> Self {
+        assert!(eps > 0.0, "eps must be positive");
+        assert!(min_pts >= 1, "min_pts must be at least 1");
+        Self { eps, min_pts }
+    }
+
+    /// The `ε`-neighbourhood of object `i` (including `i` itself).
+    pub fn neighborhood(&self, data: &Dataset, i: usize) -> Vec<usize> {
+        let eps2 = self.eps * self.eps;
+        let ri = data.row(i);
+        (0..data.len())
+            .filter(|&j| sq_dist(ri, data.row(j)) <= eps2)
+            .collect()
+    }
+
+    /// Clusters the dataset; unassigned objects are noise.
+    pub fn fit(&self, data: &Dataset) -> Clustering {
+        let n = data.len();
+        // Precompute neighbourhoods (O(n²) — fine at tutorial scale, and
+        // reused by the expansion loop).
+        let neighborhoods: Vec<Vec<usize>> =
+            (0..n).map(|i| self.neighborhood(data, i)).collect();
+        expand_from_cores(n, |i| neighborhoods[i].len() >= self.min_pts, |i| {
+            neighborhoods[i].clone()
+        })
+    }
+}
+
+/// Generic DBSCAN expansion given a core predicate and a reachability
+/// function — shared with multi-view DBSCAN, whose union/intersection core
+/// objects plug in here.
+pub fn expand_from_cores(
+    n: usize,
+    is_core: impl Fn(usize) -> bool,
+    reachable: impl Fn(usize) -> Vec<usize>,
+) -> Clustering {
+    let mut assignment: Vec<Option<usize>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut cluster = 0usize;
+    for start in 0..n {
+        if visited[start] || !is_core(start) {
+            continue;
+        }
+        // Breadth-first expansion over density-reachable objects.
+        let mut queue = vec![start];
+        visited[start] = true;
+        assignment[start] = Some(cluster);
+        while let Some(p) = queue.pop() {
+            if !is_core(p) {
+                continue; // border object: belongs, but does not expand
+            }
+            for q in reachable(p) {
+                if assignment[q].is_none() {
+                    assignment[q] = Some(cluster);
+                }
+                if !visited[q] {
+                    visited[q] = true;
+                    queue.push(q);
+                }
+            }
+        }
+        cluster += 1;
+    }
+    Clustering::from_options(assignment)
+}
+
+impl Clusterer for Dbscan {
+    fn cluster(&self, data: &Dataset, _rng: &mut StdRng) -> Clustering {
+        self.fit(data)
+    }
+
+    fn name(&self) -> &'static str {
+        "dbscan"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiclust_core::measures::diss::adjusted_rand_index;
+    use multiclust_data::synthetic::{gaussian_blobs, ring2d};
+    use multiclust_data::seeded_rng;
+
+    #[test]
+    fn separates_blobs_and_flags_noise() {
+        let mut rng = seeded_rng(41);
+        let (mut data, truth) = gaussian_blobs(
+            &[vec![0.0, 0.0], vec![10.0, 10.0]],
+            0.5,
+            40,
+            &mut rng,
+        );
+        // Add two far-away noise points.
+        data.push_row(&[100.0, -100.0]);
+        data.push_row(&[-100.0, 100.0]);
+        let c = Dbscan::new(1.5, 4).fit(&data);
+        assert_eq!(c.num_noise(), 2);
+        assert_eq!(c.assignment(80), None);
+        let truth_c = Clustering::from_labels(&truth).restricted(&(0..80).collect::<Vec<_>>());
+        let found = c.restricted(&(0..80).collect::<Vec<_>>());
+        assert!(adjusted_rand_index(&found, &truth_c) > 0.99);
+    }
+
+    #[test]
+    fn finds_ring_cluster_as_one() {
+        let mut rng = seeded_rng(42);
+        let data = ring2d(300, (0.0, 0.0), 10.0, 0.2, &mut rng);
+        let c = Dbscan::new(1.5, 4).fit(&data);
+        // One connected ring-shaped cluster — prototype methods cannot do
+        // this, density methods can (the slide-74 point).
+        let sizes = c.sizes();
+        assert_eq!(sizes.len(), 1, "sizes {sizes:?}");
+        assert!(c.num_noise() < 10);
+    }
+
+    #[test]
+    fn all_noise_when_eps_tiny() {
+        let mut rng = seeded_rng(43);
+        let (data, _) = gaussian_blobs(&[vec![0.0, 0.0]], 1.0, 30, &mut rng);
+        let c = Dbscan::new(1e-6, 3).fit(&data);
+        assert_eq!(c.num_noise(), 30);
+        assert_eq!(c.num_clusters(), 0);
+    }
+
+    #[test]
+    fn single_cluster_when_eps_huge() {
+        let mut rng = seeded_rng(44);
+        let (data, _) = gaussian_blobs(
+            &[vec![0.0, 0.0], vec![5.0, 5.0]],
+            1.0,
+            20,
+            &mut rng,
+        );
+        let c = Dbscan::new(1e6, 3).fit(&data);
+        assert_eq!(c.num_clusters(), 1);
+        assert_eq!(c.num_noise(), 0);
+    }
+
+    #[test]
+    fn border_points_join_but_do_not_expand() {
+        // Chain with spacing 0.4 and eps 0.85: interior chain points see
+        // two neighbours each side (core at min_pts 4); the point at 2.7 is
+        // a border object (3 neighbours incl. itself) and the point at 3.3
+        // is only adjacent to that border object.
+        let data = Dataset::from_rows(&[
+            vec![0.0],
+            vec![0.4],
+            vec![0.8],
+            vec![1.2],
+            vec![1.6],
+            vec![2.0],
+            vec![2.7], // border: neighbourhood {2.0, 2.7, 3.3}
+            vec![3.3], // reachable only through the border point
+        ]);
+        let c = Dbscan::new(0.85, 4).fit(&data);
+        assert!(c.assignment(6).is_some(), "border point joins the cluster");
+        assert_eq!(c.assignment(7), None, "not density-reachable through a border point");
+    }
+
+    #[test]
+    fn neighborhood_includes_self() {
+        let data = Dataset::from_rows(&[vec![0.0], vec![10.0]]);
+        let db = Dbscan::new(1.0, 1);
+        assert_eq!(db.neighborhood(&data, 0), vec![0]);
+    }
+}

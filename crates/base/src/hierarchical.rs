@@ -1,0 +1,207 @@
+//! Agglomerative hierarchical clustering with exchangeable linkage.
+//!
+//! COALA (slides 31–33) is an average-link agglomerative algorithm with a
+//! constraint-aware merge rule; this module provides the unconstrained
+//! substrate (single/complete/average linkage) plus the dendrogram, so the
+//! alternative-clustering crate only adds the dual-merge logic.
+
+use multiclust_core::Clustering;
+use multiclust_data::Dataset;
+use multiclust_linalg::vector::dist;
+use rand::rngs::StdRng;
+
+use crate::Clusterer;
+
+/// Linkage criterion for merging clusters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Linkage {
+    /// Minimum pairwise distance.
+    Single,
+    /// Maximum pairwise distance.
+    Complete,
+    /// Mean pairwise distance (COALA's choice).
+    Average,
+}
+
+/// One merge step of the dendrogram: clusters `a` and `b` (indices into the
+/// merge history, with `0..n` the singletons) merged at `distance`.
+#[derive(Clone, Copy, Debug)]
+pub struct Merge {
+    /// First merged cluster id.
+    pub a: usize,
+    /// Second merged cluster id.
+    pub b: usize,
+    /// Linkage distance at which the merge happened.
+    pub distance: f64,
+}
+
+/// Agglomerative clustering configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Agglomerative {
+    k: usize,
+    linkage: Linkage,
+}
+
+impl Agglomerative {
+    /// Agglomerates until `k` clusters remain.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize, linkage: Linkage) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        Self { k, linkage }
+    }
+
+    /// Runs the agglomeration, returning the flat `k`-clustering and the
+    /// merge history (length `n − k`).
+    pub fn fit(&self, data: &Dataset) -> (Clustering, Vec<Merge>) {
+        let n = data.len();
+        assert!(n >= self.k, "need at least k objects");
+        // Active clusters as member lists; id = position in `groups`.
+        let mut groups: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+        let mut merges = Vec::with_capacity(n.saturating_sub(self.k));
+        while groups.len() > self.k {
+            // Find the closest pair under the linkage.
+            let mut best = (0usize, 1usize, f64::INFINITY);
+            for i in 0..groups.len() {
+                for j in (i + 1)..groups.len() {
+                    let d = linkage_distance(data, &groups[i], &groups[j], self.linkage);
+                    if d < best.2 {
+                        best = (i, j, d);
+                    }
+                }
+            }
+            let (i, j, d) = best;
+            merges.push(Merge { a: i, b: j, distance: d });
+            let merged = groups.swap_remove(j); // j > i, i survives
+            groups[i].extend(merged);
+        }
+        (Clustering::from_members(n, &groups), merges)
+    }
+}
+
+/// Linkage distance between two member lists.
+pub fn linkage_distance(
+    data: &Dataset,
+    a: &[usize],
+    b: &[usize],
+    linkage: Linkage,
+) -> f64 {
+    debug_assert!(!a.is_empty() && !b.is_empty());
+    match linkage {
+        Linkage::Single => {
+            let mut best = f64::INFINITY;
+            for &i in a {
+                for &j in b {
+                    best = best.min(dist(data.row(i), data.row(j)));
+                }
+            }
+            best
+        }
+        Linkage::Complete => {
+            let mut worst = 0.0f64;
+            for &i in a {
+                for &j in b {
+                    worst = worst.max(dist(data.row(i), data.row(j)));
+                }
+            }
+            worst
+        }
+        Linkage::Average => {
+            let mut sum = 0.0;
+            for &i in a {
+                for &j in b {
+                    sum += dist(data.row(i), data.row(j));
+                }
+            }
+            sum / (a.len() * b.len()) as f64
+        }
+    }
+}
+
+impl Clusterer for Agglomerative {
+    fn cluster(&self, data: &Dataset, _rng: &mut StdRng) -> Clustering {
+        self.fit(data).0
+    }
+
+    fn name(&self) -> &'static str {
+        match self.linkage {
+            Linkage::Single => "agglomerative-single",
+            Linkage::Complete => "agglomerative-complete",
+            Linkage::Average => "agglomerative-average",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiclust_core::measures::diss::adjusted_rand_index;
+    use multiclust_data::synthetic::gaussian_blobs;
+    use multiclust_data::seeded_rng;
+
+    #[test]
+    fn average_link_recovers_blobs() {
+        let mut rng = seeded_rng(51);
+        let (data, truth) = gaussian_blobs(
+            &[vec![0.0, 0.0], vec![15.0, 0.0], vec![0.0, 15.0]],
+            1.0,
+            20,
+            &mut rng,
+        );
+        let (c, merges) = Agglomerative::new(3, Linkage::Average).fit(&data);
+        assert_eq!(merges.len(), 57);
+        let truth_c = Clustering::from_labels(&truth);
+        assert!(adjusted_rand_index(&c, &truth_c) > 0.99);
+    }
+
+    #[test]
+    fn single_link_chains_where_complete_does_not() {
+        // Two tight pairs bridged by a chain: single-link merges along the
+        // chain first; complete-link resists elongated clusters.
+        let data = Dataset::from_rows(&[
+            vec![0.0],
+            vec![1.0],
+            vec![2.0],
+            vec![3.0],
+            vec![4.0],
+            vec![10.0],
+        ]);
+        let (single, _) = Agglomerative::new(2, Linkage::Single).fit(&data);
+        // Chain 0..4 becomes one cluster, 10 alone.
+        assert!(single.same_cluster(0, 4));
+        assert!(!single.same_cluster(0, 5));
+    }
+
+    #[test]
+    fn k_equals_n_yields_singletons() {
+        let data = Dataset::from_rows(&[vec![0.0], vec![5.0], vec![9.0]]);
+        let (c, merges) = Agglomerative::new(3, Linkage::Average).fit(&data);
+        assert_eq!(c.num_clusters(), 3);
+        assert!(merges.is_empty());
+        assert_eq!(c.sizes(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn merge_distances_recorded() {
+        let data = Dataset::from_rows(&[vec![0.0], vec![1.0], vec![10.0]]);
+        let (_, merges) = Agglomerative::new(1, Linkage::Single).fit(&data);
+        assert_eq!(merges.len(), 2);
+        assert!((merges[0].distance - 1.0).abs() < 1e-12);
+        assert!((merges[1].distance - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linkage_distances_ordered() {
+        let data = Dataset::from_rows(&[vec![0.0], vec![2.0], vec![10.0], vec![11.0]]);
+        let a = [0usize, 1];
+        let b = [2usize, 3];
+        let s = linkage_distance(&data, &a, &b, Linkage::Single);
+        let avg = linkage_distance(&data, &a, &b, Linkage::Average);
+        let c = linkage_distance(&data, &a, &b, Linkage::Complete);
+        assert!(s <= avg && avg <= c);
+        assert_eq!(s, 8.0);
+        assert_eq!(c, 11.0);
+        assert_eq!(avg, (10.0 + 11.0 + 8.0 + 9.0) / 4.0);
+    }
+}

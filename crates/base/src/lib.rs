@@ -1,0 +1,52 @@
+//! Baseline single-solution clusterers.
+//!
+//! The tutorial's methods are meta-algorithms: they steer, constrain,
+//! transform or combine an *underlying* cluster definition. This crate
+//! provides those underlying definitions — exactly the ones the surveyed
+//! papers instantiate:
+//!
+//! * [`kmeans`] — Lloyd's algorithm with k-means++ seeding (Dec-kMeans,
+//!   Cui et al., meta clustering, PROCLUS all build on prototypes);
+//! * [`gmm`] — Gaussian-mixture EM (CAMI, co-EM);
+//! * [`dbscan`] — density-based clustering with noise (SUBCLU,
+//!   multi-view DBSCAN);
+//! * [`hierarchical`] — agglomerative clustering with exchangeable linkage
+//!   (COALA's substrate);
+//! * [`spectral`] — normalised spectral clustering (mSC's substrate).
+//!
+//! All clusterers implement the object-safe [`Clusterer`] trait so the
+//! *exchangeable definition* entries of the taxonomy (slide 116) can be
+//! exercised literally: any method taking `&dyn Clusterer` accepts any of
+//! them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dbscan;
+pub mod gmm;
+pub mod hierarchical;
+pub mod kmeans;
+pub mod spectral;
+
+pub use dbscan::Dbscan;
+pub use gmm::GaussianMixture;
+pub use hierarchical::{Agglomerative, Linkage};
+pub use kmeans::KMeans;
+pub use spectral::SpectralClustering;
+
+use multiclust_core::Clustering;
+use multiclust_data::Dataset;
+use rand::rngs::StdRng;
+
+/// An exchangeable cluster definition: anything that partitions a dataset.
+///
+/// The trait is object-safe (`&dyn Clusterer`) because several surveyed
+/// methods are explicitly parameterised by "any clustering algorithm"
+/// (orthogonal transformations, meta clustering).
+pub trait Clusterer {
+    /// Clusters the dataset. Deterministic given the RNG state.
+    fn cluster(&self, data: &Dataset, rng: &mut StdRng) -> Clustering;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &'static str;
+}

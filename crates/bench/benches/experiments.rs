@@ -1,0 +1,27 @@
+//! Criterion benches — one group per reproduced table/figure.
+//!
+//! Each group times the *exact* code path that regenerates the
+//! corresponding experiment report (`multiclust_bench::run`), so the
+//! numbers in `EXPERIMENTS.md` and the timings here describe the same
+//! computation. Filter with e.g. `cargo bench -p multiclust-bench -- e13`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_all_experiments(c: &mut Criterion) {
+    for (id, _) in multiclust_bench::EXPERIMENTS {
+        let mut group = c.benchmark_group(*id);
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(3))
+            .warm_up_time(Duration::from_millis(500));
+        group.bench_function("reproduce", |b| {
+            b.iter(|| black_box(multiclust_bench::run(black_box(id)).expect("known id")));
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(experiments, bench_all_experiments);
+criterion_main!(experiments);

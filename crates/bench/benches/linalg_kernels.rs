@@ -1,0 +1,75 @@
+//! Micro-benchmarks of the linear-algebra kernels the clustering methods
+//! sit on, including the Jacobi-vs-power-iteration scaling that motivates
+//! `SpectralClustering`'s eigen-solver switch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use multiclust_data::seeded_rng;
+use multiclust_linalg::power::top_eigenpairs;
+use multiclust_linalg::{Matrix, SymmetricEigen, Svd};
+use rand::Rng;
+
+fn random_symmetric(n: usize, seed: u64) -> Matrix {
+    let mut rng = seeded_rng(seed);
+    let mut a = Matrix::from_fn(n, n, |_, _| rng.gen::<f64>() - 0.5);
+    a.symmetrize();
+    a
+}
+
+fn bench_eigen_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg_eigen");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &n in &[32usize, 96, 192] {
+        let a = random_symmetric(n, 6001);
+        group.bench_with_input(BenchmarkId::new("jacobi_full", n), &a, |b, a| {
+            b.iter(|| black_box(SymmetricEigen::new(black_box(a))))
+        });
+        group.bench_with_input(BenchmarkId::new("power_top3", n), &a, |b, a| {
+            b.iter(|| {
+                let mut rng = seeded_rng(6002);
+                black_box(top_eigenpairs(
+                    black_box(a),
+                    3,
+                    a.frobenius_norm(),
+                    1e-8,
+                    300,
+                    &mut rng,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_svd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg_svd");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    for &n in &[8usize, 32, 64] {
+        let a = {
+            let mut rng = seeded_rng(6003);
+            Matrix::from_fn(n, n, |_, _| rng.gen::<f64>() - 0.5)
+        };
+        group.bench_with_input(BenchmarkId::new("full_svd", n), &a, |b, a| {
+            b.iter(|| black_box(Svd::new(black_box(a))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg_matmul");
+    group.measurement_time(Duration::from_secs(3));
+    for &n in &[32usize, 128] {
+        let a = random_symmetric(n, 6004);
+        let b_mat = random_symmetric(n, 6005);
+        group.bench_with_input(BenchmarkId::new("matmul", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.matmul(black_box(&b_mat))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(linalg, bench_eigen_scaling, bench_svd, bench_matmul);
+criterion_main!(linalg);

@@ -1,0 +1,42 @@
+//! Regenerates every table and figure of the tutorial.
+//!
+//! ```text
+//! reproduce all        # every experiment, in slide order
+//! reproduce e13        # one experiment
+//! reproduce list       # available ids
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "list" || args[0] == "--help" {
+        eprintln!("usage: reproduce <id>|all|list\n\navailable experiments:");
+        for (id, desc) in multiclust_bench::EXPERIMENTS {
+            eprintln!("  {id:<5} {desc}");
+        }
+        return if args.first().is_some_and(|a| a == "list") {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+    let mut failed = false;
+    for arg in &args {
+        if arg == "all" {
+            for (id, _) in multiclust_bench::EXPERIMENTS {
+                print!("{}", multiclust_bench::run(id).expect("registered id"));
+            }
+        } else if let Some(report) = multiclust_bench::run(arg) {
+            print!("{report}");
+        } else {
+            eprintln!("unknown experiment id: {arg} (try `reproduce list`)");
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,253 @@
+//! Cross-cutting experiments: the taxonomy tables (T1, T2) and the
+//! curse-of-dimensionality motivation (E19).
+
+use multiclust_core::measures::highdim::relative_contrast;
+use multiclust_core::taxonomy::{render_taxonomy_table, AlgorithmCard};
+use multiclust_data::seeded_rng;
+use multiclust_data::synthetic::uniform;
+
+use crate::report::{f4, section, Table};
+
+/// Every implemented algorithm's taxonomy card.
+pub fn all_cards() -> Vec<AlgorithmCard> {
+    vec![
+        multiclust_alternative::MetaClustering::card(),
+        multiclust_alternative::Coala::card(),
+        multiclust_alternative::ConditionalIb::card(),
+        multiclust_alternative::DecKMeans::card(),
+        multiclust_alternative::Cami::card(),
+        multiclust_alternative::MinCEntropy::card(),
+        multiclust_alternative::Hossain::card(),
+        multiclust_orthogonal::MetricFlip::card(),
+        multiclust_orthogonal::QiDavidson::card(),
+        multiclust_orthogonal::OrthogonalProjectionClustering::card(),
+        multiclust_subspace::Clique::card(),
+        multiclust_subspace::Schism::card(),
+        multiclust_subspace::Subclu::card(),
+        multiclust_subspace::Proclus::card(),
+        multiclust_subspace::Enclus::card(),
+        multiclust_subspace::Ris::card(),
+        multiclust_subspace::Doc::card(),
+        multiclust_subspace::Msc::card(),
+        multiclust_subspace::Osclu::card(),
+        multiclust_subspace::asclu::Asclu::card(),
+        multiclust_multiview::CoEm::card(),
+        multiclust_multiview::MultiViewDbscan::card(),
+        multiclust_multiview::RandomProjectionEnsemble::card(),
+        multiclust_multiview::MultiViewSpectral::card(),
+    ]
+}
+
+/// T1 — regenerates the slide-116 classification table from the cards.
+pub fn t1_taxonomy() -> String {
+    section(
+        "T1: taxonomy of implemented algorithms (slides 21/116/122)",
+        &render_taxonomy_table(&all_cards()),
+    )
+}
+
+/// T2 — the per-paradigm pros/cons summary rows (slides 45, 61, 91, 111),
+/// as machine-checked statements derived from the cards.
+pub fn t2_paradigm_summary() -> String {
+    use multiclust_core::taxonomy::{Processing, SearchSpace};
+    let cards = all_cards();
+    let mut t = Table::new(&[
+        "paradigm",
+        "algorithms",
+        "iterative",
+        "simultaneous",
+        "uses given knowledge",
+        ">=2 solutions",
+    ]);
+    for (space, label) in [
+        (SearchSpace::Original, "original space (s.45)"),
+        (SearchSpace::Transformed, "transformations (s.61)"),
+        (SearchSpace::Subspaces, "subspace projections (s.91)"),
+        (SearchSpace::MultiSource, "multiple sources (s.111)"),
+    ] {
+        let in_space: Vec<&AlgorithmCard> =
+            cards.iter().filter(|c| c.space == space).collect();
+        let iterative =
+            in_space.iter().filter(|c| c.processing == Processing::Iterative).count();
+        let simultaneous = in_space
+            .iter()
+            .filter(|c| c.processing == Processing::Simultaneous)
+            .count();
+        let with_knowledge = in_space
+            .iter()
+            .filter(|c| {
+                c.knowledge
+                    == multiclust_core::taxonomy::GivenKnowledge::GivenClustering
+            })
+            .count();
+        let multi = in_space
+            .iter()
+            .filter(|c| {
+                c.solutions != multiclust_core::taxonomy::Solutions::One
+            })
+            .count();
+        t.row(&[
+            label.to_string(),
+            in_space.len().to_string(),
+            iterative.to_string(),
+            simultaneous.to_string(),
+            with_knowledge.to_string(),
+            multi.to_string(),
+        ]);
+    }
+    section("T2: paradigm comparison summary (slides 45/61/91/111)", &t.render())
+}
+
+/// E19 — the Beyer et al. limit (slide 12): mean relative contrast
+/// `(d_max − d_min)/d_min` collapses towards 0 as dimensionality grows.
+pub fn e19_curse_of_dimensionality() -> String {
+    let mut rng = seeded_rng(9019);
+    let n = 200;
+    let mut t = Table::new(&["d", "relative contrast"]);
+    let mut previous = f64::INFINITY;
+    for exp in 1..=9 {
+        let d = 1usize << exp; // 2..512
+        let data = uniform(n, d, 0.0, 1.0, &mut rng);
+        let contrast = relative_contrast(&data).expect("n >= 2, distinct points");
+        t.row(&[d.to_string(), f4(contrast)]);
+        previous = previous.min(contrast);
+    }
+    let body = format!(
+        "{}\nexpected shape: monotone collapse towards 0 (slide 12's limit).",
+        t.render()
+    );
+    section("E19: curse of dimensionality (slide 12)", &body)
+}
+
+/// E20 — the "common quality assessment for multiple clusterings" the
+/// tutorial lists as an open challenge (slide 123): every method's
+/// solution *set* scored on the one combined objective of slides 27/39
+/// (`Σ Q + γ · mean Diss`, silhouette quality, 1−ARI dissimilarity).
+pub fn e20_objective_scoreboard() -> String {
+    use multiclust_alternative::hossain::Coupling;
+    use multiclust_alternative::{Cami, Coala, DecKMeans, Hossain};
+    use multiclust_base::KMeans;
+    use multiclust_core::objective::MultiClusteringObjective;
+    use multiclust_core::Clustering;
+    use multiclust_data::synthetic::four_blob_square;
+
+    let fb = four_blob_square(30, 10.0, 0.7, &mut seeded_rng(9020));
+    let objective = MultiClusteringObjective::new();
+    let mut t = Table::new(&[
+        "method",
+        "sum quality (silhouette)",
+        "mean diss (1-ARI)",
+        "min diss",
+        "combined score",
+    ]);
+
+    let mut score_row = |name: &str, solutions: &[&Clustering]| {
+        let s = objective.evaluate(&fb.dataset, solutions);
+        t.row(&[
+            name.to_string(),
+            f4(s.qualities.iter().sum::<f64>()),
+            f4(s.mean_dissimilarity),
+            f4(s.min_dissimilarity),
+            f4(s.combined),
+        ]);
+    };
+
+    // Baseline: the same k-means solution twice (the degenerate "multiple
+    // clusterings" a naive pipeline produces).
+    let mut rng = seeded_rng(9021);
+    let km = KMeans::new(2).with_restarts(4).fit(&fb.dataset, &mut rng).clustering;
+    score_row("k-means twice (degenerate)", &[&km, &km]);
+
+    // k-means + COALA alternative.
+    let coala = Coala::new(2, 0.8).fit(&fb.dataset, &km).clustering;
+    score_row("k-means + COALA", &[&km, &coala]);
+
+    // Dec-kMeans simultaneous pair.
+    let dec = DecKMeans::new(&[2, 2]).with_lambda(10.0).fit(&fb.dataset, &mut rng);
+    score_row("Dec-kMeans", &[&dec.clusterings[0], &dec.clusterings[1]]);
+
+    // CAMI simultaneous pair.
+    let cami = Cami::new(2, 2, 1.0).fit(&fb.dataset, &mut rng);
+    score_row("CAMI", &[&cami.clusterings[0], &cami.clusterings[1]]);
+
+    // Hossain disparate pair.
+    let hos = Hossain::new(2, 2, Coupling::Disparate).fit(&fb.dataset, &mut rng);
+    score_row("Hossain (disparate)", &[&hos.clusterings[0], &hos.clusterings[1]]);
+
+    let body = format!(
+        "{}\nexpected shape: the degenerate baseline has zero dissimilarity;\nevery genuine multiple-clustering method scores higher on the combined\nobjective — one scale compares methods across paradigms (slide 123's\nopen challenge).",
+        t.render()
+    );
+    section("E20: common objective scoreboard (slides 27/39/123)", &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e20_genuine_methods_beat_degenerate_baseline() {
+        let report = e20_objective_scoreboard();
+        // Parse combined scores: baseline row vs the best method row.
+        let scores: Vec<(String, f64)> = report
+            .lines()
+            .filter(|l| {
+                l.contains("k-means") || l.contains("Dec-kMeans") || l.contains("CAMI")
+                    || l.contains("Hossain")
+            })
+            .filter_map(|l| {
+                let combined: f64 = l.split_whitespace().last()?.parse().ok()?;
+                Some((l.split("  ").next().unwrap_or("").to_string(), combined))
+            })
+            .collect();
+        let baseline = scores
+            .iter()
+            .find(|(n, _)| n.contains("degenerate"))
+            .expect("baseline present")
+            .1;
+        let best = scores.iter().map(|(_, s)| *s).fold(f64::NEG_INFINITY, f64::max);
+        assert!(best > baseline, "a genuine method beats the degenerate baseline");
+    }
+
+    #[test]
+    fn taxonomy_covers_all_four_paradigms() {
+        let table = t1_taxonomy();
+        for needle in ["original", "transformed", "subspaces", "multi-source"] {
+            assert!(table.contains(needle), "missing paradigm {needle}");
+        }
+        assert!(table.contains("COALA"));
+        assert!(table.contains("OSCLU"));
+        assert!(table.contains("co-EM"));
+    }
+
+    #[test]
+    fn cards_have_unique_names() {
+        let cards = all_cards();
+        let mut names: Vec<&str> = cards.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate algorithm names");
+        assert!(before >= 24);
+    }
+
+    #[test]
+    fn curse_contrast_decreases_end_to_end() {
+        let report = e19_curse_of_dimensionality();
+        // First (d=2) and last (d=512) contrast values from the table.
+        let values: Vec<f64> = report
+            .lines()
+            .filter_map(|l| {
+                let mut parts = l.split_whitespace();
+                let d: usize = parts.next()?.parse().ok()?;
+                let c: f64 = parts.next()?.parse().ok()?;
+                (d >= 2).then_some(c)
+            })
+            .collect();
+        assert!(values.len() >= 8);
+        assert!(
+            values.last().unwrap() * 5.0 < values[0],
+            "contrast collapses: {values:?}"
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! Contingency tables between two clusterings.
+//!
+//! The contingency table is the common substrate of every clustering
+//! comparison measure in the tutorial (Rand family, information-theoretic
+//! family) and is itself the modelling device of Hossain et al. (2010),
+//! who *maximise its uniformity* to obtain disparate clusterings
+//! (slide 44).
+
+use crate::Clustering;
+
+/// The `k₁ × k₂` contingency table of two clusterings over the same
+/// objects. Only objects assigned in **both** clusterings contribute;
+/// the number of excluded objects is tracked separately.
+#[derive(Clone, Debug)]
+pub struct ContingencyTable {
+    counts: Vec<Vec<usize>>,
+    row_sums: Vec<usize>,
+    col_sums: Vec<usize>,
+    total: usize,
+    excluded: usize,
+}
+
+impl ContingencyTable {
+    /// Builds the table for clusterings `a` (rows) and `b` (columns).
+    ///
+    /// # Panics
+    /// Panics if the clusterings have different object counts.
+    pub fn new(a: &Clustering, b: &Clustering) -> Self {
+        assert_eq!(a.len(), b.len(), "clusterings must cover the same objects");
+        let ka = a.num_clusters();
+        let kb = b.num_clusters();
+        let mut counts = vec![vec![0usize; kb]; ka];
+        let mut excluded = 0;
+        for i in 0..a.len() {
+            match (a.assignment(i), b.assignment(i)) {
+                (Some(ca), Some(cb)) => counts[ca][cb] += 1,
+                _ => excluded += 1,
+            }
+        }
+        let row_sums: Vec<usize> = counts.iter().map(|r| r.iter().sum()).collect();
+        let col_sums: Vec<usize> = (0..kb)
+            .map(|j| counts.iter().map(|r| r[j]).sum())
+            .collect();
+        let total = row_sums.iter().sum();
+        Self { counts, row_sums, col_sums, total, excluded }
+    }
+
+    /// Cell `(i, j)`: objects in cluster `i` of `a` and cluster `j` of `b`.
+    pub fn count(&self, i: usize, j: usize) -> usize {
+        self.counts[i][j]
+    }
+
+    /// Row marginals (cluster sizes of `a` over the shared objects).
+    pub fn row_sums(&self) -> &[usize] {
+        &self.row_sums
+    }
+
+    /// Column marginals (cluster sizes of `b` over the shared objects).
+    pub fn col_sums(&self) -> &[usize] {
+        &self.col_sums
+    }
+
+    /// Objects counted in the table.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Objects excluded because they are noise in at least one clustering.
+    pub fn excluded(&self) -> usize {
+        self.excluded
+    }
+
+    /// Number of rows / columns.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.counts.len(), self.col_sums.len())
+    }
+
+    /// Pair counts `(n11, n10, n01, n00)`:
+    /// * `n11` — pairs co-clustered in both,
+    /// * `n10` — pairs co-clustered in `a` only,
+    /// * `n01` — pairs co-clustered in `b` only,
+    /// * `n00` — pairs separated in both.
+    pub fn pair_counts(&self) -> (u64, u64, u64, u64) {
+        let choose2 = |x: usize| (x as u64 * (x as u64).saturating_sub(1)) / 2;
+        let n11: u64 = self
+            .counts
+            .iter()
+            .flat_map(|r| r.iter())
+            .map(|&c| choose2(c))
+            .sum();
+        let sum_rows: u64 = self.row_sums.iter().map(|&c| choose2(c)).sum();
+        let sum_cols: u64 = self.col_sums.iter().map(|&c| choose2(c)).sum();
+        let all_pairs = choose2(self.total);
+        let n10 = sum_rows - n11;
+        let n01 = sum_cols - n11;
+        let n00 = all_pairs - n11 - n10 - n01;
+        (n11, n10, n01, n00)
+    }
+
+    /// Deviation of the table from the uniform distribution, measured as the
+    /// total variation distance between the normalised table and the uniform
+    /// table (`0` = perfectly uniform, `→1` = concentrated).
+    ///
+    /// Hossain et al. (2010) search for prototypes whose induced
+    /// contingency table *minimises* this (maximum uniformity = maximally
+    /// independent clusterings).
+    pub fn uniformity_deviation(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let (ka, kb) = self.shape();
+        let cells = (ka * kb) as f64;
+        let uniform = 1.0 / cells;
+        let n = self.total as f64;
+        0.5 * self
+            .counts
+            .iter()
+            .flat_map(|r| r.iter())
+            .map(|&c| (c as f64 / n - uniform).abs())
+            .sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ab() -> (Clustering, Clustering) {
+        // a: {0,1,2} {3,4,5}; b: {0,1} {2,3} {4,5}
+        let a = Clustering::from_labels(&[0, 0, 0, 1, 1, 1]);
+        let b = Clustering::from_labels(&[0, 0, 1, 1, 2, 2]);
+        (a, b)
+    }
+
+    #[test]
+    fn counts_and_marginals() {
+        let (a, b) = ab();
+        let t = ContingencyTable::new(&a, &b);
+        assert_eq!(t.shape(), (2, 3));
+        assert_eq!(t.count(0, 0), 2);
+        assert_eq!(t.count(0, 1), 1);
+        assert_eq!(t.count(1, 1), 1);
+        assert_eq!(t.count(1, 2), 2);
+        assert_eq!(t.row_sums(), &[3, 3]);
+        assert_eq!(t.col_sums(), &[2, 2, 2]);
+        assert_eq!(t.total(), 6);
+        assert_eq!(t.excluded(), 0);
+    }
+
+    #[test]
+    fn pair_counts_sum_to_all_pairs() {
+        let (a, b) = ab();
+        let t = ContingencyTable::new(&a, &b);
+        let (n11, n10, n01, n00) = t.pair_counts();
+        assert_eq!(n11 + n10 + n01 + n00, 15); // C(6,2)
+        // Hand count: pairs together in both: (0,1),(2,3)? (2,3) not in a.
+        // a-pairs: (0,1),(0,2),(1,2),(3,4),(3,5),(4,5); of these b keeps
+        // (0,1) and (4,5) → n11 = 2.
+        assert_eq!(n11, 2);
+        assert_eq!(n10, 4);
+        // b-pairs: (0,1),(2,3),(4,5); (2,3) split in a → n01 = 1.
+        assert_eq!(n01, 1);
+        assert_eq!(n00, 8);
+    }
+
+    #[test]
+    fn noise_is_excluded() {
+        let a = Clustering::from_options(vec![Some(0), Some(0), None]);
+        let b = Clustering::from_labels(&[0, 1, 1]);
+        let t = ContingencyTable::new(&a, &b);
+        assert_eq!(t.total(), 2);
+        assert_eq!(t.excluded(), 1);
+    }
+
+    #[test]
+    fn uniformity_of_independent_vs_identical() {
+        // Independent 2×2: perfectly uniform.
+        let a = Clustering::from_labels(&[0, 0, 1, 1]);
+        let b = Clustering::from_labels(&[0, 1, 0, 1]);
+        let t = ContingencyTable::new(&a, &b);
+        assert!(t.uniformity_deviation() < 1e-12);
+        // Identical clusterings: diagonal table, far from uniform.
+        let t2 = ContingencyTable::new(&a, &a);
+        assert!(t2.uniformity_deviation() > 0.4);
+    }
+
+    #[test]
+    fn empty_overlap_is_safe() {
+        let a = Clustering::from_options(vec![None, None]);
+        let b = Clustering::from_labels(&[0, 1]);
+        let t = ContingencyTable::new(&a, &b);
+        assert_eq!(t.total(), 0);
+        assert_eq!(t.pair_counts(), (0, 0, 0, 0));
+        assert_eq!(t.uniformity_deviation(), 0.0);
+    }
+}

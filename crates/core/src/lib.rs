@@ -1,0 +1,53 @@
+//! Core abstractions of the `multiclust` workspace.
+//!
+//! This crate encodes the tutorial's abstract problem definition
+//! (slide 27): given a database `DB`, find clusterings
+//! `Clust₁, …, Clust_m` such that every `Q(Clust_i)` is high and every
+//! pairwise `Diss(Clust_i, Clust_j)` is high. Concretely it provides
+//!
+//! * [`Clustering`] / [`SoftClustering`] — hard partitions with optional
+//!   noise and probabilistic assignments;
+//! * [`subspace::SubspaceCluster`] — the `(O, S)` cluster model of the
+//!   subspace paradigm (slide 65);
+//! * [`ContingencyTable`] and the *dissimilarity* measures `Diss`
+//!   ([`measures::diss`]): Rand, adjusted Rand, Jaccard, mutual
+//!   information, NMI, variation of information, conditional entropy;
+//! * the *quality* measures `Q` ([`measures::quality`]): SSE/compactness,
+//!   silhouette, plus the curse-of-dimensionality contrast statistic that
+//!   motivates the subspace paradigm (slide 12);
+//! * instance-level [`constraints`] (must-link / cannot-link), the vehicle
+//!   COALA uses to steer away from a given clustering;
+//! * [`taxonomy`] — machine-readable algorithm cards along the tutorial's
+//!   classification axes, from which the taxonomy tables (slides 21/116)
+//!   are regenerated.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clustering;
+pub mod constraints;
+pub mod contingency;
+pub mod measures;
+pub mod objective;
+pub mod subspace;
+pub mod taxonomy;
+
+pub use clustering::{Clustering, SoftClustering};
+pub use constraints::ConstraintSet;
+pub use contingency::ContingencyTable;
+pub use objective::MultiClusteringObjective;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::clustering::{Clustering, SoftClustering};
+    pub use crate::constraints::ConstraintSet;
+    pub use crate::contingency::ContingencyTable;
+    pub use crate::measures::diss::{
+        adjusted_rand_index, conditional_entropy, jaccard_index, mutual_information,
+        normalized_mutual_information, rand_index, variation_of_information,
+    };
+    pub use crate::measures::quality::{silhouette, sum_of_squared_errors};
+    pub use crate::subspace::{SubspaceCluster, SubspaceClustering};
+    pub use crate::objective::MultiClusteringObjective;
+    pub use crate::taxonomy::AlgorithmCard;
+}

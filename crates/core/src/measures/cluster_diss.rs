@@ -1,0 +1,165 @@
+//! Cluster-level (dis)similarity — the middle level of slide 24's
+//! hierarchy ("OBJECTS / CLUSTERS / SPACES").
+//!
+//! Pair-counting and information-theoretic measures compare *partitions*
+//! wholesale; several surveyed methods instead reason about individual
+//! clusters: OSCLU's concept groups compare clusters, redundancy models
+//! ask whether one cluster explains another, and evaluation of multiple
+//! solutions needs to know *which* cluster of solution A corresponds to
+//! which cluster of solution B. This module provides those primitives.
+
+use crate::Clustering;
+
+/// Jaccard similarity of two object sets given as sorted member lists
+/// (`|A∩B| / |A∪B|`); `0` for disjoint, `1` for identical sets.
+pub fn cluster_jaccard(a: &[usize], b: &[usize]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let mut i = 0;
+    let mut j = 0;
+    let mut inter = 0usize;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// The best-match table between two clusterings: for every non-empty
+/// cluster of `a`, the index and Jaccard similarity of its best-matching
+/// cluster in `b`.
+pub fn best_matches(a: &Clustering, b: &Clustering) -> Vec<Option<(usize, f64)>> {
+    let members_a = a.members();
+    let members_b = b.members();
+    members_a
+        .iter()
+        .map(|ma| {
+            if ma.is_empty() {
+                return None;
+            }
+            members_b
+                .iter()
+                .enumerate()
+                .filter(|(_, mb)| !mb.is_empty())
+                .map(|(cb, mb)| (cb, cluster_jaccard(ma, mb)))
+                .max_by(|x, y| x.1.partial_cmp(&y.1).unwrap())
+        })
+        .collect()
+}
+
+/// Symmetric best-match F1 between clusterings: the harmonic mean of the
+/// two directed average best-match Jaccard scores. `1` iff the partitions
+/// coincide over their clustered objects; near `0` for unrelated ones.
+/// A cluster-level companion to the pairwise measures — it tells you *how
+/// well each found cluster corresponds to some reference cluster*, which
+/// ARI cannot (a partition can have middling ARI with every individual
+/// cluster matched poorly or one matched perfectly).
+pub fn best_match_f1(a: &Clustering, b: &Clustering) -> f64 {
+    let directed = |x: &Clustering, y: &Clustering| -> f64 {
+        let matches = best_matches(x, y);
+        let scores: Vec<f64> = matches.into_iter().flatten().map(|(_, s)| s).collect();
+        if scores.is_empty() {
+            return 0.0;
+        }
+        scores.iter().sum::<f64>() / scores.len() as f64
+    };
+    let ab = directed(a, b);
+    let ba = directed(b, a);
+    if ab + ba == 0.0 {
+        0.0
+    } else {
+        2.0 * ab * ba / (ab + ba)
+    }
+}
+
+/// Coverage of clustering `a` by clustering `b`: the fraction of `a`'s
+/// clustered objects that are also clustered (non-noise) in `b`. Useful
+/// when density-based solutions with noise are compared against full
+/// partitions.
+pub fn coverage(a: &Clustering, b: &Clustering) -> f64 {
+    assert_eq!(a.len(), b.len(), "clusterings must cover the same objects");
+    let mut assigned_a = 0usize;
+    let mut both = 0usize;
+    for i in 0..a.len() {
+        if a.assignment(i).is_some() {
+            assigned_a += 1;
+            if b.assignment(i).is_some() {
+                both += 1;
+            }
+        }
+    }
+    if assigned_a == 0 {
+        1.0
+    } else {
+        both as f64 / assigned_a as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jaccard_basic_cases() {
+        assert_eq!(cluster_jaccard(&[0, 1, 2], &[0, 1, 2]), 1.0);
+        assert_eq!(cluster_jaccard(&[0, 1], &[2, 3]), 0.0);
+        assert!((cluster_jaccard(&[0, 1, 2], &[1, 2, 3]) - 0.5).abs() < 1e-12);
+        assert_eq!(cluster_jaccard(&[], &[]), 1.0);
+        assert_eq!(cluster_jaccard(&[0], &[]), 0.0);
+    }
+
+    #[test]
+    fn best_matches_pairs_up_identical_partitions() {
+        let a = Clustering::from_labels(&[0, 0, 1, 1, 2]);
+        let b = Clustering::from_labels(&[2, 2, 0, 0, 1]); // relabelled
+        let matches = best_matches(&a, &b);
+        assert_eq!(matches[0], Some((2, 1.0)));
+        assert_eq!(matches[1], Some((0, 1.0)));
+        assert_eq!(matches[2], Some((1, 1.0)));
+    }
+
+    #[test]
+    fn f1_identical_and_independent() {
+        let a = Clustering::from_labels(&[0, 0, 0, 0, 1, 1, 1, 1]);
+        assert!((best_match_f1(&a, &a) - 1.0).abs() < 1e-12);
+        let b = Clustering::from_labels(&[0, 1, 0, 1, 0, 1, 0, 1]);
+        // Independent 2×2: every best match has Jaccard 2/6 = 1/3.
+        assert!((best_match_f1(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_is_symmetric() {
+        let a = Clustering::from_labels(&[0, 0, 1, 1, 2, 2]);
+        let b = Clustering::from_labels(&[0, 1, 1, 0, 2, 2]);
+        assert!((best_match_f1(&a, &b) - best_match_f1(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_distinguishes_one_good_cluster_from_uniform_mediocrity() {
+        // Reference: two clusters of 4. Candidate X matches one perfectly
+        // and scrambles the other; candidate Y is mediocre everywhere.
+        let reference = Clustering::from_labels(&[0, 0, 0, 0, 1, 1, 1, 1]);
+        let x = Clustering::from_labels(&[0, 0, 0, 0, 1, 2, 1, 2]);
+        let y = Clustering::from_labels(&[0, 0, 1, 1, 0, 0, 1, 1]);
+        assert!(best_match_f1(&reference, &x) > best_match_f1(&reference, &y));
+    }
+
+    #[test]
+    fn coverage_counts_noise() {
+        let a = Clustering::from_labels(&[0, 0, 1, 1]);
+        let b = Clustering::from_options(vec![Some(0), None, Some(1), None]);
+        assert_eq!(coverage(&a, &b), 0.5);
+        assert_eq!(coverage(&b, &a), 1.0);
+        let empty = Clustering::from_options(vec![None; 4]);
+        assert_eq!(coverage(&empty, &a), 1.0, "vacuous coverage");
+    }
+}

@@ -1,0 +1,75 @@
+//! Distance-concentration diagnostics for high-dimensional data.
+//!
+//! Slide 12 motivates the entire subspace paradigm with the curse of
+//! dimensionality (Beyer et al. 1999):
+//!
+//! ```text
+//! lim_{|D|→∞}  (max_p dist(o,p) − min_p dist(o,p)) / min_p dist(o,p) → 0
+//! ```
+//!
+//! i.e. nearest and farthest neighbours become indistinguishable as
+//! dimensionality grows. [`relative_contrast`] measures exactly that
+//! statistic, and experiment E19 reproduces the limit curve.
+
+use multiclust_data::Dataset;
+use multiclust_linalg::vector::dist;
+
+/// Mean relative contrast `(d_max − d_min) / d_min` over all objects,
+/// where `d_max`/`d_min` are each object's farthest/nearest neighbour
+/// distances. Approaches `0` for i.i.d. data as dimensionality grows.
+///
+/// Returns `None` when the dataset has fewer than two objects or some
+/// object coincides with its nearest neighbour (`d_min = 0`).
+pub fn relative_contrast(data: &Dataset) -> Option<f64> {
+    let n = data.len();
+    if n < 2 {
+        return None;
+    }
+    let mut total = 0.0;
+    for i in 0..n {
+        let ri = data.row(i);
+        let mut dmin = f64::INFINITY;
+        let mut dmax = 0.0f64;
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let d = dist(ri, data.row(j));
+            dmin = dmin.min(d);
+            dmax = dmax.max(d);
+        }
+        if dmin == 0.0 {
+            return None;
+        }
+        total += (dmax - dmin) / dmin;
+    }
+    Some(total / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiclust_data::synthetic::uniform;
+    use multiclust_data::seeded_rng;
+
+    #[test]
+    fn contrast_shrinks_with_dimensionality() {
+        let mut rng = seeded_rng(11);
+        let low = uniform(100, 2, 0.0, 1.0, &mut rng);
+        let high = uniform(100, 128, 0.0, 1.0, &mut rng);
+        let c_low = relative_contrast(&low).unwrap();
+        let c_high = relative_contrast(&high).unwrap();
+        assert!(
+            c_low > 5.0 * c_high,
+            "contrast must collapse: low-d {c_low}, high-d {c_high}"
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let single = Dataset::from_rows(&[vec![1.0, 2.0]]);
+        assert!(relative_contrast(&single).is_none());
+        let dup = Dataset::from_rows(&[vec![1.0], vec![1.0], vec![2.0]]);
+        assert!(relative_contrast(&dup).is_none(), "zero d_min is undefined");
+    }
+}

@@ -1,0 +1,19 @@
+//! Quality (`Q`) and dissimilarity (`Diss`) measures.
+//!
+//! The tutorial's abstract problem (slide 27) is parameterised by a quality
+//! function over clusterings and a dissimilarity function over *pairs of
+//! clusterings*; slide 24 further distinguishes (dis)similarity at the
+//! level of objects, clusters, and spaces. This module hosts all three
+//! levels:
+//!
+//! * [`quality`] — how good is one clustering on one dataset;
+//! * [`diss`] — how different are two clusterings;
+//! * [`cluster_diss`] — how do *individual clusters* correspond across
+//!   clusterings (best-match tables, cluster Jaccard, coverage);
+//! * [`highdim`] — the distance-concentration statistic of slide 12 that
+//!   motivates looking beyond the full-dimensional space.
+
+pub mod cluster_diss;
+pub mod diss;
+pub mod highdim;
+pub mod quality;

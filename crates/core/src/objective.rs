@@ -1,0 +1,225 @@
+//! The abstract multiple-clustering objective (slides 27–28, 39).
+//!
+//! The tutorial's problem statement is *parameterised*: detect clusterings
+//! `Clust₁..Clust_m` such that every `Q(Clust_i)` is high and every
+//! pairwise `Diss(Clust_i, Clust_j)` is high; the simultaneous methods
+//! maximise the combined form `Σ_i Q(Clust_i) + Σ_{i≠j} Diss(…)`
+//! (slide 39). This module makes that objective a first-class value, so a
+//! *set* of solutions from any method (or mix of methods) can be scored on
+//! a common scale — the "common quality assessment for multiple
+//! clusterings" the tutorial lists as an open challenge (slide 123).
+
+use multiclust_data::Dataset;
+
+use crate::measures::diss::{adjusted_rand_index, normalized_mutual_information};
+use crate::measures::quality::{silhouette, sum_of_squared_errors};
+use crate::Clustering;
+
+/// A quality function `Q : (DB, Clustering) → R`, higher = better.
+pub type QualityFn = fn(&Dataset, &Clustering) -> f64;
+
+/// A dissimilarity function `Diss : (Clustering, Clustering) → R`,
+/// higher = more different.
+pub type DissFn = fn(&Clustering, &Clustering) -> f64;
+
+/// Silhouette as `Q` (already "higher is better", range `[-1, 1]`).
+pub fn q_silhouette(data: &Dataset, c: &Clustering) -> f64 {
+    silhouette(data, c)
+}
+
+/// Negated, size-normalised SSE as `Q` (higher is better).
+pub fn q_neg_sse(data: &Dataset, c: &Clustering) -> f64 {
+    let n = data.len().max(1) as f64;
+    -sum_of_squared_errors(data, c) / n
+}
+
+/// `1 − ARI` as `Diss` (0 for identical partitions, ~1 for independent).
+pub fn diss_one_minus_ari(a: &Clustering, b: &Clustering) -> f64 {
+    1.0 - adjusted_rand_index(a, b)
+}
+
+/// `1 − NMI` as `Diss`.
+pub fn diss_one_minus_nmi(a: &Clustering, b: &Clustering) -> f64 {
+    1.0 - normalized_mutual_information(a, b)
+}
+
+/// The combined objective with a trade-off weight:
+/// `score(M) = Σ_i Q(Clust_i) + γ · mean_{i<j} Diss(Clust_i, Clust_j)`.
+#[derive(Clone, Copy)]
+pub struct MultiClusteringObjective {
+    /// Quality function `Q`.
+    pub quality: QualityFn,
+    /// Dissimilarity function `Diss`.
+    pub dissimilarity: DissFn,
+    /// Weight `γ` of the dissimilarity part.
+    pub gamma: f64,
+}
+
+/// Scores of one evaluated solution set.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ObjectiveScore {
+    /// Per-solution quality values.
+    pub qualities: Vec<f64>,
+    /// Mean pairwise dissimilarity (0 when fewer than two solutions).
+    pub mean_dissimilarity: f64,
+    /// Minimum pairwise dissimilarity — the weakest link; a redundant
+    /// pair shows up here even when the mean looks fine.
+    pub min_dissimilarity: f64,
+    /// The combined score `Σ Q + γ · mean Diss`.
+    pub combined: f64,
+}
+
+impl Default for MultiClusteringObjective {
+    fn default() -> Self {
+        Self {
+            quality: q_silhouette,
+            dissimilarity: diss_one_minus_ari,
+            gamma: 1.0,
+        }
+    }
+}
+
+impl MultiClusteringObjective {
+    /// Default objective: silhouette quality, `1 − ARI` dissimilarity,
+    /// `γ = 1`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the quality function.
+    #[must_use]
+    pub fn with_quality(mut self, q: QualityFn) -> Self {
+        self.quality = q;
+        self
+    }
+
+    /// Overrides the dissimilarity function.
+    #[must_use]
+    pub fn with_dissimilarity(mut self, d: DissFn) -> Self {
+        self.dissimilarity = d;
+        self
+    }
+
+    /// Overrides the trade-off weight.
+    #[must_use]
+    pub fn with_gamma(mut self, gamma: f64) -> Self {
+        assert!(gamma >= 0.0, "γ must be non-negative");
+        self.gamma = gamma;
+        self
+    }
+
+    /// Evaluates a set of solutions on the dataset.
+    ///
+    /// # Panics
+    /// Panics when `solutions` is empty or sizes mismatch.
+    pub fn evaluate(&self, data: &Dataset, solutions: &[&Clustering]) -> ObjectiveScore {
+        assert!(!solutions.is_empty(), "at least one solution required");
+        for s in solutions {
+            assert_eq!(s.len(), data.len(), "solution size mismatch");
+        }
+        let qualities: Vec<f64> =
+            solutions.iter().map(|s| (self.quality)(data, s)).collect();
+        let mut diss_sum = 0.0;
+        let mut diss_min = f64::INFINITY;
+        let mut pairs = 0usize;
+        for i in 0..solutions.len() {
+            for j in (i + 1)..solutions.len() {
+                let d = (self.dissimilarity)(solutions[i], solutions[j]);
+                diss_sum += d;
+                diss_min = diss_min.min(d);
+                pairs += 1;
+            }
+        }
+        let mean_dissimilarity = if pairs == 0 { 0.0 } else { diss_sum / pairs as f64 };
+        let min_dissimilarity = if pairs == 0 { 0.0 } else { diss_min };
+        let combined = qualities.iter().sum::<f64>() + self.gamma * mean_dissimilarity;
+        ObjectiveScore { qualities, mean_dissimilarity, min_dissimilarity, combined }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_data() -> (Dataset, Clustering, Clustering, Clustering) {
+        // Deterministic mini four-corner layout.
+        let mut rows = Vec::new();
+        let mut horiz = Vec::new();
+        let mut vert = Vec::new();
+        for (cx, cy) in [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0), (10.0, 10.0)] {
+            for k in 0..5 {
+                rows.push(vec![cx + 0.1 * k as f64, cy + 0.07 * k as f64]);
+                horiz.push(usize::from(cy > 5.0));
+                vert.push(usize::from(cx > 5.0));
+            }
+        }
+        let diag: Vec<usize> = horiz.iter().zip(&vert).map(|(h, v)| h ^ v).collect();
+        (
+            Dataset::from_rows(&rows),
+            Clustering::from_labels(&horiz),
+            Clustering::from_labels(&vert),
+            Clustering::from_labels(&diag),
+        )
+    }
+
+    #[test]
+    fn orthogonal_pair_beats_duplicate_pair() {
+        let (data, horiz, vert, _) = square_data();
+        let obj = MultiClusteringObjective::new();
+        let orthogonal = obj.evaluate(&data, &[&horiz, &vert]);
+        let duplicate = obj.evaluate(&data, &[&horiz, &horiz]);
+        assert!(orthogonal.combined > duplicate.combined);
+        assert_eq!(duplicate.mean_dissimilarity, 0.0);
+        assert!(orthogonal.mean_dissimilarity > 0.9);
+    }
+
+    #[test]
+    fn min_dissimilarity_flags_redundant_member() {
+        let (data, horiz, vert, _) = square_data();
+        // Two orthogonal solutions plus a duplicate of the first.
+        let score = MultiClusteringObjective::new().evaluate(&data, &[&horiz, &vert, &horiz]);
+        assert!(score.min_dissimilarity < 1e-12, "duplicate detected");
+        assert!(score.mean_dissimilarity > 0.5, "mean alone hides it");
+    }
+
+    #[test]
+    fn single_solution_reduces_to_traditional_quality() {
+        // Slide 28: traditional clustering is the m = 1 special case with
+        // dissimilarity trivially fulfilled.
+        let (data, horiz, _, _) = square_data();
+        let score = MultiClusteringObjective::new().evaluate(&data, &[&horiz]);
+        assert_eq!(score.mean_dissimilarity, 0.0);
+        assert_eq!(score.combined, score.qualities[0]);
+    }
+
+    #[test]
+    fn gamma_trades_quality_against_diversity() {
+        let (data, horiz, vert, diag) = square_data();
+        // diag is a worse-quality partition (splits blobs) but dissimilar
+        // to horiz. With γ = 0 the pair (horiz, vert) and (horiz, diag)
+        // are ranked purely by quality.
+        let obj0 = MultiClusteringObjective::new().with_gamma(0.0);
+        let good = obj0.evaluate(&data, &[&horiz, &vert]);
+        let bad = obj0.evaluate(&data, &[&horiz, &diag]);
+        assert!(good.combined > bad.combined, "diag has poor silhouette");
+    }
+
+    #[test]
+    fn custom_functions_are_plugged_in() {
+        let (data, horiz, vert, _) = square_data();
+        let obj = MultiClusteringObjective::new()
+            .with_quality(q_neg_sse)
+            .with_dissimilarity(diss_one_minus_nmi)
+            .with_gamma(2.0);
+        let score = obj.evaluate(&data, &[&horiz, &vert]);
+        assert!(score.qualities.iter().all(|&q| q < 0.0), "neg-SSE is negative");
+        assert!(score.mean_dissimilarity > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one solution")]
+    fn empty_solution_set_rejected() {
+        let (data, ..) = square_data();
+        let _ = MultiClusteringObjective::new().evaluate(&data, &[]);
+    }
+}

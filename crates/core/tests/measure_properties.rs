@@ -1,0 +1,117 @@
+//! Property-based tests for clustering comparison measures.
+
+use multiclust_core::measures::diss::{
+    adjusted_rand_index, clustering_entropy, conditional_entropy, jaccard_index,
+    mutual_information, normalized_mutual_information, rand_index,
+    variation_of_information,
+};
+use multiclust_core::{Clustering, ContingencyTable};
+use proptest::prelude::*;
+
+/// Strategy: labels for `n` objects over at most `k` clusters.
+fn labels(n: usize, k: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0..k, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn indices_in_range(a in labels(24, 4), b in labels(24, 3)) {
+        let ca = Clustering::from_labels(&a);
+        let cb = Clustering::from_labels(&b);
+        let ri = rand_index(&ca, &cb);
+        prop_assert!((0.0..=1.0).contains(&ri));
+        let ji = jaccard_index(&ca, &cb);
+        prop_assert!((0.0..=1.0).contains(&ji));
+        let nmi = normalized_mutual_information(&ca, &cb);
+        prop_assert!((0.0..=1.0).contains(&nmi));
+        let ari = adjusted_rand_index(&ca, &cb);
+        prop_assert!(ari <= 1.0 + 1e-12);
+        prop_assert!(variation_of_information(&ca, &cb) >= 0.0);
+    }
+
+    #[test]
+    fn measures_are_symmetric(a in labels(20, 4), b in labels(20, 4)) {
+        let ca = Clustering::from_labels(&a);
+        let cb = Clustering::from_labels(&b);
+        prop_assert!((rand_index(&ca, &cb) - rand_index(&cb, &ca)).abs() < 1e-12);
+        prop_assert!((adjusted_rand_index(&ca, &cb) - adjusted_rand_index(&cb, &ca)).abs() < 1e-12);
+        prop_assert!((jaccard_index(&ca, &cb) - jaccard_index(&cb, &ca)).abs() < 1e-12);
+        prop_assert!((mutual_information(&ca, &cb) - mutual_information(&cb, &ca)).abs() < 1e-10);
+        prop_assert!((variation_of_information(&ca, &cb) - variation_of_information(&cb, &ca)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn self_comparison_is_perfect(a in labels(20, 5)) {
+        let ca = Clustering::from_labels(&a);
+        prop_assert_eq!(rand_index(&ca, &ca), 1.0);
+        prop_assert!((adjusted_rand_index(&ca, &ca) - 1.0).abs() < 1e-12);
+        prop_assert!(variation_of_information(&ca, &ca) < 1e-10);
+        prop_assert!(conditional_entropy(&ca, &ca) < 1e-10);
+    }
+
+    #[test]
+    fn label_permutation_invariance(a in labels(20, 3), b in labels(20, 3)) {
+        let ca = Clustering::from_labels(&a);
+        let cb = Clustering::from_labels(&b);
+        // Permute b's labels 0→2, 1→0, 2→1.
+        let perm: Vec<usize> = b.iter().map(|&l| (l + 2) % 3).collect();
+        let cp = Clustering::from_labels(&perm);
+        prop_assert!((rand_index(&ca, &cb) - rand_index(&ca, &cp)).abs() < 1e-12);
+        prop_assert!((mutual_information(&ca, &cb) - mutual_information(&ca, &cp)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn vi_triangle_inequality(
+        a in labels(16, 3),
+        b in labels(16, 3),
+        c in labels(16, 3),
+    ) {
+        let ca = Clustering::from_labels(&a);
+        let cb = Clustering::from_labels(&b);
+        let cc = Clustering::from_labels(&c);
+        let ab = variation_of_information(&ca, &cb);
+        let bc = variation_of_information(&cb, &cc);
+        let ac = variation_of_information(&ca, &cc);
+        prop_assert!(ac <= ab + bc + 1e-9, "VI violates triangle: {} > {} + {}", ac, ab, bc);
+    }
+
+    #[test]
+    fn mi_bounded_by_min_entropy(a in labels(24, 4), b in labels(24, 4)) {
+        let ca = Clustering::from_labels(&a);
+        let cb = Clustering::from_labels(&b);
+        let mi = mutual_information(&ca, &cb);
+        prop_assert!(mi <= clustering_entropy(&ca).min(clustering_entropy(&cb)) + 1e-10);
+        prop_assert!(mi >= 0.0);
+    }
+
+    #[test]
+    fn contingency_pair_counts_partition_all_pairs(a in labels(24, 4), b in labels(24, 5)) {
+        let ca = Clustering::from_labels(&a);
+        let cb = Clustering::from_labels(&b);
+        let t = ContingencyTable::new(&ca, &cb);
+        let (n11, n10, n01, n00) = t.pair_counts();
+        let n = t.total() as u64;
+        prop_assert_eq!(n11 + n10 + n01 + n00, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn contingency_marginals_sum_to_total(a in labels(30, 4), b in labels(30, 4)) {
+        let ca = Clustering::from_labels(&a);
+        let cb = Clustering::from_labels(&b);
+        let t = ContingencyTable::new(&ca, &cb);
+        let rows: usize = t.row_sums().iter().sum();
+        let cols: usize = t.col_sums().iter().sum();
+        prop_assert_eq!(rows, t.total());
+        prop_assert_eq!(cols, t.total());
+    }
+
+    #[test]
+    fn canonicalization_preserves_partition(a in labels(20, 6)) {
+        let ca = Clustering::from_labels(&a);
+        let canon = ca.canonicalized();
+        prop_assert_eq!(rand_index(&ca, &canon), 1.0);
+        prop_assert!(canon.num_clusters() <= ca.num_clusters());
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the combined objective and the cluster-level
+//! correspondence measures.
+
+use multiclust_core::measures::cluster_diss::{best_match_f1, cluster_jaccard, coverage};
+use multiclust_core::objective::MultiClusteringObjective;
+use multiclust_core::Clustering;
+use multiclust_data::Dataset;
+use proptest::prelude::*;
+
+fn labels(n: usize, k: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0..k, n)
+}
+
+fn small_dataset(n: usize) -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(prop::collection::vec(-50.0f64..50.0, 2), n..=n)
+        .prop_map(|rows| Dataset::from_rows(&rows))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn f1_bounded_and_symmetric(a in labels(20, 4), b in labels(20, 3)) {
+        let ca = Clustering::from_labels(&a);
+        let cb = Clustering::from_labels(&b);
+        let f = best_match_f1(&ca, &cb);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&f));
+        prop_assert!((f - best_match_f1(&cb, &ca)).abs() < 1e-12);
+        prop_assert!((best_match_f1(&ca, &ca) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cluster_jaccard_bounded_symmetric(
+        a in prop::collection::btree_set(0..30usize, 0..15),
+        b in prop::collection::btree_set(0..30usize, 0..15),
+    ) {
+        let a: Vec<usize> = a.into_iter().collect();
+        let b: Vec<usize> = b.into_iter().collect();
+        let j = cluster_jaccard(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert!((j - cluster_jaccard(&b, &a)).abs() < 1e-12);
+        prop_assert_eq!(cluster_jaccard(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn coverage_bounded(a in labels(15, 3), b in labels(15, 3)) {
+        let ca = Clustering::from_labels(&a);
+        let cb = Clustering::from_labels(&b);
+        let c = coverage(&ca, &cb);
+        prop_assert!((0.0..=1.0).contains(&c));
+        // Full partitions cover each other completely.
+        prop_assert_eq!(c, 1.0);
+    }
+
+    #[test]
+    fn objective_gamma_scales_dissimilarity_part(
+        data in small_dataset(16),
+        a in labels(16, 3),
+        b in labels(16, 3),
+    ) {
+        let ca = Clustering::from_labels(&a);
+        let cb = Clustering::from_labels(&b);
+        let score0 = MultiClusteringObjective::new()
+            .with_gamma(0.0)
+            .evaluate(&data, &[&ca, &cb]);
+        let score2 = MultiClusteringObjective::new()
+            .with_gamma(2.0)
+            .evaluate(&data, &[&ca, &cb]);
+        // Quality part identical; difference is exactly 2·meanDiss.
+        let quality: f64 = score0.qualities.iter().sum();
+        prop_assert!((score0.combined - quality).abs() < 1e-9);
+        prop_assert!(
+            (score2.combined - quality - 2.0 * score2.mean_dissimilarity).abs() < 1e-9
+        );
+        // Mean dissimilarity itself is gamma-independent.
+        prop_assert!((score0.mean_dissimilarity - score2.mean_dissimilarity).abs() < 1e-12);
+    }
+
+    #[test]
+    fn objective_min_diss_never_exceeds_mean(
+        data in small_dataset(12),
+        a in labels(12, 3),
+        b in labels(12, 3),
+        c in labels(12, 3),
+    ) {
+        let ca = Clustering::from_labels(&a);
+        let cb = Clustering::from_labels(&b);
+        let cc = Clustering::from_labels(&c);
+        let s = MultiClusteringObjective::new().evaluate(&data, &[&ca, &cb, &cc]);
+        prop_assert!(s.min_dissimilarity <= s.mean_dissimilarity + 1e-12);
+        prop_assert_eq!(s.qualities.len(), 3);
+    }
+}

@@ -1,0 +1,195 @@
+//! Plain-text dataset I/O.
+//!
+//! A deliberately small CSV dialect (comma separator, optional `#`-prefixed
+//! comment lines, optional header row with attribute names) — enough to get
+//! real numeric tables in and experiment outputs back out without pulling a
+//! CSV dependency into the offline build.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::Dataset;
+
+/// Errors raised while parsing a CSV table.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A cell failed to parse as `f64`.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The offending cell text.
+        cell: String,
+    },
+    /// A row had a different number of cells than the first row.
+    RaggedRow {
+        /// 1-based line number.
+        line: usize,
+        /// Cells found.
+        found: usize,
+        /// Cells expected.
+        expected: usize,
+    },
+    /// The input contained no data rows.
+    Empty,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "I/O error: {e}"),
+            Self::BadNumber { line, cell } => {
+                write!(f, "line {line}: cannot parse {cell:?} as a number")
+            }
+            Self::RaggedRow { line, found, expected } => {
+                write!(f, "line {line}: {found} cells, expected {expected}")
+            }
+            Self::Empty => write!(f, "no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Parses a CSV string into a [`Dataset`].
+///
+/// * Lines starting with `#` and blank lines are skipped.
+/// * If `header` is true, the first non-comment line provides attribute
+///   names.
+pub fn parse_csv(text: &str, header: bool) -> Result<Dataset, CsvError> {
+    let mut names: Option<Vec<String>> = None;
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut expected: Option<usize> = None;
+    let mut saw_header = false;
+
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if header && !saw_header {
+            names = Some(trimmed.split(',').map(|s| s.trim().to_string()).collect());
+            saw_header = true;
+            continue;
+        }
+        let cells: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        if let Some(exp) = expected {
+            if cells.len() != exp {
+                return Err(CsvError::RaggedRow {
+                    line: line_no,
+                    found: cells.len(),
+                    expected: exp,
+                });
+            }
+        } else {
+            expected = Some(cells.len());
+        }
+        let mut row = Vec::with_capacity(cells.len());
+        for cell in cells {
+            let v: f64 = cell.parse().map_err(|_| CsvError::BadNumber {
+                line: line_no,
+                cell: cell.to_string(),
+            })?;
+            row.push(v);
+        }
+        rows.push(row);
+    }
+
+    if rows.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    let mut ds = Dataset::from_rows(&rows);
+    if let Some(names) = names {
+        if names.len() == ds.dims() {
+            ds = ds.with_dim_names(names);
+        }
+    }
+    Ok(ds)
+}
+
+/// Reads a CSV file from disk.
+pub fn read_csv(path: &Path, header: bool) -> Result<Dataset, CsvError> {
+    parse_csv(&fs::read_to_string(path)?, header)
+}
+
+/// Serialises a dataset to CSV (with a header row when attribute names are
+/// present).
+pub fn to_csv(ds: &Dataset) -> String {
+    let mut out = String::new();
+    if let Some(names) = ds.dim_names() {
+        out.push_str(&names.join(","));
+        out.push('\n');
+    }
+    for row in ds.rows() {
+        for (j, x) in row.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{x}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a dataset to a CSV file.
+pub fn write_csv(ds: &Dataset, path: &Path) -> io::Result<()> {
+    fs::write(path, to_csv(ds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_table() {
+        let ds = parse_csv("1,2\n3,4\n", false).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn parse_with_header_and_comments() {
+        let text = "# customer table\nage, income\n30, 50000\n# middle comment\n40, 60000\n";
+        let ds = parse_csv(text, true).unwrap();
+        assert_eq!(ds.dim_names().unwrap(), &["age".to_string(), "income".to_string()]);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.row(0), &[30.0, 50000.0]);
+    }
+
+    #[test]
+    fn ragged_row_is_error() {
+        let err = parse_csv("1,2\n3\n", false).unwrap_err();
+        assert!(matches!(err, CsvError::RaggedRow { line: 2, found: 1, expected: 2 }));
+    }
+
+    #[test]
+    fn bad_number_is_error() {
+        let err = parse_csv("1,x\n", false).unwrap_err();
+        assert!(matches!(err, CsvError::BadNumber { line: 1, .. }));
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert!(matches!(parse_csv("# only comments\n", false), Err(CsvError::Empty)));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let ds = Dataset::from_rows(&[vec![1.5, -2.0], vec![0.25, 3.0]])
+            .with_dim_names(vec!["a".into(), "b".into()]);
+        let text = to_csv(&ds);
+        let back = parse_csv(&text, true).unwrap();
+        assert_eq!(ds, back);
+    }
+}

@@ -1,0 +1,519 @@
+//! Synthetic workload generators with planted multi-view structure.
+//!
+//! Each generator documents which tutorial scenario it substitutes for and
+//! returns the ground truth of **every** planted view, so experiments can
+//! score recovered clusterings against each alternative independently.
+
+use rand::Rng;
+
+use crate::{Dataset, MultiViewDataset};
+
+/// A dataset together with the ground-truth labelling of each planted view
+/// and the attribute subset that carries each view.
+#[derive(Clone, Debug)]
+pub struct PlantedData {
+    /// The generated objects.
+    pub dataset: Dataset,
+    /// `view_dims[v]` lists the attribute indices carrying view `v`.
+    pub view_dims: Vec<Vec<usize>>,
+    /// `truths[v][i]` is object `i`'s ground-truth cluster in view `v`.
+    pub truths: Vec<Vec<usize>>,
+}
+
+/// Specification of one planted view.
+#[derive(Clone, Copy, Debug)]
+pub struct ViewSpec {
+    /// Number of attributes carrying this view.
+    pub dims: usize,
+    /// Number of clusters planted in this view.
+    pub clusters: usize,
+    /// Distance between neighbouring cluster centres along each attribute.
+    pub separation: f64,
+    /// Standard deviation of the Gaussian noise around centres.
+    pub noise: f64,
+}
+
+impl Default for ViewSpec {
+    fn default() -> Self {
+        Self { dims: 2, clusters: 3, separation: 6.0, noise: 1.0 }
+    }
+}
+
+/// Standard normal sample via the Box–Muller transform (the offline crate
+/// set has `rand` but not `rand_distr`).
+pub fn gauss(rng: &mut impl Rng) -> f64 {
+    // Avoid ln(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Isotropic Gaussian blobs around the given centres; `n_per` objects per
+/// centre. Returns the dataset and the blob label of each object.
+pub fn gaussian_blobs(
+    centers: &[Vec<f64>],
+    std_dev: f64,
+    n_per: usize,
+    rng: &mut impl Rng,
+) -> (Dataset, Vec<usize>) {
+    assert!(!centers.is_empty(), "at least one centre required");
+    let d = centers[0].len();
+    let mut ds = Dataset::with_dims(d);
+    let mut labels = Vec::with_capacity(centers.len() * n_per);
+    let mut row = vec![0.0; d];
+    for (c, center) in centers.iter().enumerate() {
+        assert_eq!(center.len(), d, "centres must share dimensionality");
+        for _ in 0..n_per {
+            for (x, &mu) in row.iter_mut().zip(center) {
+                *x = mu + std_dev * gauss(rng);
+            }
+            ds.push_row(&row);
+            labels.push(c);
+        }
+    }
+    (ds, labels)
+}
+
+/// Uniform random objects in `[lo, hi]^d` — unclustered background noise
+/// and the substrate for the curse-of-dimensionality experiment (slide 12).
+pub fn uniform(n: usize, d: usize, lo: f64, hi: f64, rng: &mut impl Rng) -> Dataset {
+    let mut ds = Dataset::with_dims(d);
+    let mut row = vec![0.0; d];
+    for _ in 0..n {
+        for x in &mut row {
+            *x = rng.gen_range(lo..hi);
+        }
+        ds.push_row(&row);
+    }
+    ds
+}
+
+/// The slide-26 toy example: four Gaussian blobs on the corners of a square.
+/// A 2-means clustering of this data has **two equally meaningful
+/// solutions** — the horizontal and the vertical split.
+#[derive(Clone, Debug)]
+pub struct FourBlobs {
+    /// The 2-d objects.
+    pub dataset: Dataset,
+    /// Blob id (0: bottom-left, 1: bottom-right, 2: top-left, 3: top-right).
+    pub blob: Vec<usize>,
+    /// Ground truth of the horizontal split (0: bottom row, 1: top row).
+    pub horizontal: Vec<usize>,
+    /// Ground truth of the vertical split (0: left column, 1: right column).
+    pub vertical: Vec<usize>,
+}
+
+/// Generates the [`FourBlobs`] configuration with blob centres on the
+/// corners of a `side × side` square.
+pub fn four_blob_square(
+    n_per: usize,
+    side: f64,
+    std_dev: f64,
+    rng: &mut impl Rng,
+) -> FourBlobs {
+    let centers = vec![
+        vec![0.0, 0.0],
+        vec![side, 0.0],
+        vec![0.0, side],
+        vec![side, side],
+    ];
+    let (dataset, blob) = gaussian_blobs(&centers, std_dev, n_per, rng);
+    let horizontal = blob.iter().map(|&b| b / 2).collect();
+    let vertical = blob.iter().map(|&b| b % 2).collect();
+    FourBlobs { dataset, blob, horizontal, vertical }
+}
+
+/// Plants several independent clusterings in disjoint attribute groups and
+/// optionally appends unclustered uniform-noise attributes.
+///
+/// This is the workhorse generator behind most experiments: object `i`
+/// draws an independent cluster label per view; the attributes of view `v`
+/// are Gaussian around that view's cluster centre; views are therefore
+/// *statistically independent alternative groupings* — exactly the
+/// structure the tutorial's methods are designed to discover.
+///
+/// Cluster centres of view `v` are placed on a randomly signed lattice so
+/// neighbouring centres are `separation` apart per attribute.
+pub fn planted_views(
+    n: usize,
+    views: &[ViewSpec],
+    noise_dims: usize,
+    rng: &mut impl Rng,
+) -> PlantedData {
+    assert!(!views.is_empty(), "at least one view required");
+    assert!(views.iter().all(|v| v.dims > 0 && v.clusters > 0));
+    let d_total: usize = views.iter().map(|v| v.dims).sum::<usize>() + noise_dims;
+
+    // Per-view cluster centres.
+    let mut centers: Vec<Vec<Vec<f64>>> = Vec::with_capacity(views.len());
+    for spec in views {
+        let mut view_centers = Vec::with_capacity(spec.clusters);
+        for c in 0..spec.clusters {
+            // Lattice placement with random axis signs: cluster c sits at
+            // ±c·separation per attribute, keeping centres well separated
+            // without colinearity across attributes.
+            let center: Vec<f64> = (0..spec.dims)
+                .map(|_| {
+                    let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+                    sign * c as f64 * spec.separation
+                })
+                .collect();
+            view_centers.push(center);
+        }
+        centers.push(view_centers);
+    }
+
+    // Independent truth per view.
+    let truths: Vec<Vec<usize>> = views
+        .iter()
+        .map(|spec| (0..n).map(|_| rng.gen_range(0..spec.clusters)).collect())
+        .collect();
+
+    let mut view_dims = Vec::with_capacity(views.len());
+    let mut offset = 0;
+    for spec in views {
+        view_dims.push((offset..offset + spec.dims).collect::<Vec<_>>());
+        offset += spec.dims;
+    }
+
+    let mut ds = Dataset::with_dims(d_total);
+    let mut row = vec![0.0; d_total];
+    for i in 0..n {
+        let mut j = 0;
+        for (v, spec) in views.iter().enumerate() {
+            let center = &centers[v][truths[v][i]];
+            for &mu in center {
+                row[j] = mu + spec.noise * gauss(rng);
+                j += 1;
+            }
+        }
+        for _ in 0..noise_dims {
+            // Noise attributes span a range comparable to the views.
+            row[j] = rng.gen_range(-10.0..10.0);
+            j += 1;
+        }
+        ds.push_row(&row);
+    }
+
+    PlantedData { dataset: ds, view_dims, truths }
+}
+
+
+/// Ground truth of one planted role: `(member objects, attribute group)`.
+pub type RoleTruth = (Vec<usize>, Vec<usize>);
+
+/// Plants *overlapping* roles (slide 5's claim (1): "each object may have
+/// several roles in multiple clusters"): every role owns a disjoint
+/// attribute group; each object joins every role independently with
+/// probability `membership_prob`, receiving that role's signature in the
+/// role's attributes and uniform background noise elsewhere. Because
+/// memberships overlap, no single partition can represent the structure —
+/// only subspace clusters `(O, S)` can.
+///
+/// Returns the dataset and, per role, the sorted member list and the
+/// attribute group carrying it.
+pub fn overlapping_roles(
+    n: usize,
+    roles: usize,
+    dims_per_role: usize,
+    membership_prob: f64,
+    rng: &mut impl Rng,
+) -> (Dataset, Vec<RoleTruth>) {
+    assert!(roles >= 1 && dims_per_role >= 1, "roles and dims must be positive");
+    assert!(
+        (0.0..=1.0).contains(&membership_prob),
+        "membership probability in [0, 1]"
+    );
+    let d = roles * dims_per_role;
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); roles];
+    let mut ds = Dataset::with_dims(d);
+    let mut row = vec![0.0; d];
+    for i in 0..n {
+        // Background: uniform noise everywhere.
+        for x in &mut row {
+            *x = rng.gen_range(-10.0..10.0);
+        }
+        for (r, role_members) in members.iter_mut().enumerate() {
+            if rng.gen::<f64>() < membership_prob {
+                role_members.push(i);
+                // Signature: tight values around the role's anchor.
+                for j in 0..dims_per_role {
+                    row[r * dims_per_role + j] = 5.0 + 0.3 * gauss(rng);
+                }
+            }
+        }
+        ds.push_row(&row);
+    }
+    let out = members
+        .into_iter()
+        .enumerate()
+        .map(|(r, m)| {
+            let dims: Vec<usize> =
+                (r * dims_per_role..(r + 1) * dims_per_role).collect();
+            (m, dims)
+        })
+        .collect();
+    (ds, out)
+}
+
+/// A 2-d ring (annulus) of objects — an arbitrarily-shaped cluster that
+/// grid- and prototype-based methods cannot represent but density-based
+/// ones (SUBCLU/DBSCAN) can (slide 74).
+pub fn ring2d(
+    n: usize,
+    center: (f64, f64),
+    radius: f64,
+    thickness: f64,
+    rng: &mut impl Rng,
+) -> Dataset {
+    let mut ds = Dataset::with_dims(2);
+    for _ in 0..n {
+        let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+        let r = radius + thickness * gauss(rng);
+        ds.push_row(&[center.0 + r * angle.cos(), center.1 + r * angle.sin()]);
+    }
+    ds
+}
+
+/// Customer-segmentation analogue (slides 8, 14–18): ten named attributes
+/// forming a *professional* and a *leisure* view with independent planted
+/// segmentations.
+pub fn customer_profiles(n: usize, rng: &mut impl Rng) -> (PlantedData, MultiViewDataset) {
+    let specs = [
+        ViewSpec { dims: 5, clusters: 3, separation: 5.0, noise: 1.0 }, // professional
+        ViewSpec { dims: 5, clusters: 4, separation: 5.0, noise: 1.0 }, // leisure
+    ];
+    let mut planted = planted_views(n, &specs, 0, rng);
+    let names = [
+        "working_hours",
+        "income",
+        "company_size",
+        "education",
+        "num_underlings",
+        "sport_activity",
+        "paintings",
+        "cinema_visits",
+        "musicality",
+        "restaurant_visits",
+    ];
+    planted.dataset = planted
+        .dataset
+        .clone()
+        .with_dim_names(names.iter().map(|s| s.to_string()).collect());
+    let mv = MultiViewDataset::from_attribute_groups(
+        &planted.dataset,
+        &planted.view_dims,
+    );
+    (planted, mv)
+}
+
+/// Gene-expression analogue (slide 5): genes measured under two condition
+/// groups; a gene's functional role may differ per group — i.e. two
+/// alternative groupings over the same genes.
+pub fn gene_expression(
+    n_genes: usize,
+    conditions_per_group: usize,
+    roles_per_group: usize,
+    rng: &mut impl Rng,
+) -> PlantedData {
+    let spec = ViewSpec {
+        dims: conditions_per_group,
+        clusters: roles_per_group,
+        separation: 4.0,
+        noise: 0.8,
+    };
+    planted_views(n_genes, &[spec, spec], 0, rng)
+}
+
+/// Sensor-surveillance analogue (slide 6): each sensor reports a
+/// temperature-like and a humidity-like measurement group; environmental
+/// zones differ between the two phenomena.
+pub fn sensor_measurements(
+    n_sensors: usize,
+    rng: &mut impl Rng,
+) -> (PlantedData, MultiViewDataset) {
+    let specs = [
+        ViewSpec { dims: 3, clusters: 2, separation: 8.0, noise: 1.2 }, // temperature zones
+        ViewSpec { dims: 3, clusters: 3, separation: 8.0, noise: 1.2 }, // humidity zones
+    ];
+    let planted = planted_views(n_sensors, &specs, 0, rng);
+    let mv = MultiViewDataset::from_attribute_groups(
+        &planted.dataset,
+        &planted.view_dims,
+    );
+    (planted, mv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+
+    #[test]
+    fn gauss_has_roughly_standard_moments() {
+        let mut rng = seeded_rng(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gauss(&mut rng)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn blobs_have_expected_counts_and_spread() {
+        let mut rng = seeded_rng(2);
+        let centers = vec![vec![0.0, 0.0], vec![100.0, 100.0]];
+        let (ds, labels) = gaussian_blobs(&centers, 1.0, 25, &mut rng);
+        assert_eq!(ds.len(), 50);
+        assert_eq!(labels.iter().filter(|&&l| l == 0).count(), 25);
+        // Objects stay near their centres at std 1 vs separation 100.
+        for (i, &l) in labels.iter().enumerate() {
+            let c = &centers[l];
+            let d2: f64 = ds
+                .row(i)
+                .iter()
+                .zip(c)
+                .map(|(x, m)| (x - m) * (x - m))
+                .sum();
+            assert!(d2 < 100.0, "object {i} strayed: {d2}");
+        }
+    }
+
+    #[test]
+    fn four_blobs_truths_are_orthogonal() {
+        let mut rng = seeded_rng(3);
+        let fb = four_blob_square(10, 10.0, 0.5, &mut rng);
+        assert_eq!(fb.dataset.len(), 40);
+        // Horizontal and vertical labels are independent: all four
+        // combinations occur equally often.
+        let mut counts = [[0usize; 2]; 2];
+        for (h, v) in fb.horizontal.iter().zip(&fb.vertical) {
+            counts[*h][*v] += 1;
+        }
+        assert_eq!(counts, [[10, 10], [10, 10]]);
+        // Blob id encodes both splits.
+        for ((&b, &h), &v) in fb.blob.iter().zip(&fb.horizontal).zip(&fb.vertical) {
+            assert_eq!(b, 2 * h + v);
+        }
+    }
+
+    #[test]
+    fn planted_views_dimensions_partition() {
+        let mut rng = seeded_rng(4);
+        let specs = [
+            ViewSpec { dims: 3, clusters: 2, ..Default::default() },
+            ViewSpec { dims: 2, clusters: 4, ..Default::default() },
+        ];
+        let p = planted_views(100, &specs, 2, &mut rng);
+        assert_eq!(p.dataset.dims(), 7);
+        assert_eq!(p.view_dims[0], vec![0, 1, 2]);
+        assert_eq!(p.view_dims[1], vec![3, 4]);
+        assert_eq!(p.truths.len(), 2);
+        assert!(p.truths[0].iter().all(|&l| l < 2));
+        assert!(p.truths[1].iter().all(|&l| l < 4));
+    }
+
+    #[test]
+    fn planted_views_are_separable_in_their_subspace() {
+        let mut rng = seeded_rng(5);
+        let spec = ViewSpec { dims: 2, clusters: 2, separation: 20.0, noise: 0.5 };
+        let p = planted_views(200, &[spec], 0, &mut rng);
+        // Same-cluster pairs are closer than cross-cluster pairs in the
+        // planted subspace (check means).
+        let mut same = (0.0, 0usize);
+        let mut diff = (0.0, 0usize);
+        for i in 0..50 {
+            for j in (i + 1)..50 {
+                let d2: f64 = p
+                    .dataset
+                    .row(i)
+                    .iter()
+                    .zip(p.dataset.row(j))
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                if p.truths[0][i] == p.truths[0][j] {
+                    same = (same.0 + d2, same.1 + 1);
+                } else {
+                    diff = (diff.0 + d2, diff.1 + 1);
+                }
+            }
+        }
+        assert!(same.0 / same.1 as f64 * 10.0 < diff.0 / diff.1 as f64);
+    }
+
+    #[test]
+    fn ring_objects_at_radius() {
+        let mut rng = seeded_rng(6);
+        let ds = ring2d(100, (5.0, -3.0), 4.0, 0.1, &mut rng);
+        for row in ds.rows() {
+            let r = ((row[0] - 5.0).powi(2) + (row[1] + 3.0).powi(2)).sqrt();
+            assert!((r - 4.0).abs() < 1.0, "radius {r}");
+        }
+    }
+
+    #[test]
+    fn customer_profiles_named_and_viewed() {
+        let mut rng = seeded_rng(7);
+        let (planted, mv) = customer_profiles(30, &mut rng);
+        assert_eq!(planted.dataset.dims(), 10);
+        assert_eq!(planted.dataset.dim_names().unwrap()[1], "income");
+        assert_eq!(mv.num_views(), 2);
+        assert_eq!(mv.view(0).dim_names().unwrap()[0], "working_hours");
+        assert_eq!(mv.view(1).dim_names().unwrap()[0], "sport_activity");
+    }
+
+    #[test]
+    fn generators_are_deterministic_under_seed() {
+        let a = planted_views(
+            50,
+            &[ViewSpec::default()],
+            1,
+            &mut seeded_rng(99),
+        );
+        let b = planted_views(
+            50,
+            &[ViewSpec::default()],
+            1,
+            &mut seeded_rng(99),
+        );
+        assert_eq!(a.dataset, b.dataset);
+        assert_eq!(a.truths, b.truths);
+    }
+
+
+    #[test]
+    fn overlapping_roles_objects_join_several_clusters() {
+        let mut rng = seeded_rng(9);
+        let (ds, roles) = overlapping_roles(200, 3, 2, 0.5, &mut rng);
+        assert_eq!(ds.dims(), 6);
+        assert_eq!(roles.len(), 3);
+        // Expected overlap: with p = 0.5 many objects carry 2+ roles.
+        let mut role_count = vec![0usize; 200];
+        for (members, dims) in &roles {
+            assert_eq!(dims.len(), 2);
+            for &m in members {
+                role_count[m] += 1;
+            }
+        }
+        let multi = role_count.iter().filter(|&&c| c >= 2).count();
+        assert!(multi > 40, "objects with several roles: {multi}");
+        // Members really carry the signature in the role's dims.
+        let (members, dims) = &roles[0];
+        for &m in members.iter().take(20) {
+            for &j in dims {
+                assert!((ds.row(m)[j] - 5.0).abs() < 2.0);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let ds = uniform(200, 3, -2.0, 2.0, &mut seeded_rng(8));
+        let bounds = ds.bounds().unwrap();
+        for (lo, hi) in bounds {
+            assert!(lo >= -2.0 && hi < 2.0);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for dataset storage and transformations.
+
+use multiclust_data::{Dataset, MultiViewDataset};
+use proptest::prelude::*;
+
+fn dataset(max_n: usize, d: usize) -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(prop::collection::vec(-100.0f64..100.0, d), 1..max_n)
+        .prop_map(|rows| Dataset::from_rows(&rows))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Projection keeps objects and reorders columns as requested.
+    #[test]
+    fn project_preserves_rows(ds in dataset(30, 4)) {
+        let p = ds.project(&[3, 1]);
+        prop_assert_eq!(p.len(), ds.len());
+        prop_assert_eq!(p.dims(), 2);
+        for i in 0..ds.len() {
+            prop_assert_eq!(p.row(i)[0], ds.row(i)[3]);
+            prop_assert_eq!(p.row(i)[1], ds.row(i)[1]);
+        }
+    }
+
+    /// Selecting all objects in order is the identity.
+    #[test]
+    fn select_all_is_identity(ds in dataset(20, 3)) {
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        prop_assert_eq!(ds.select(&idx), ds);
+    }
+
+    /// Min-max normalisation is idempotent and bounded.
+    #[test]
+    fn min_max_is_idempotent(ds in dataset(25, 3)) {
+        let once = ds.min_max_normalized();
+        let twice = once.min_max_normalized();
+        for (a, b) in once.as_slice().iter().zip(twice.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+        for &x in once.as_slice() {
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&x));
+        }
+    }
+
+    /// Standardisation yields zero mean; re-standardising changes nothing.
+    #[test]
+    fn standardize_centres_and_is_idempotent(ds in dataset(25, 3)) {
+        let s = ds.standardized();
+        for &m in &s.mean() {
+            prop_assert!(m.abs() < 1e-9);
+        }
+        let again = s.standardized();
+        for (a, b) in s.as_slice().iter().zip(again.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// Linear transformation by the identity matrix is the identity map.
+    #[test]
+    fn identity_transform_is_noop(ds in dataset(20, 3)) {
+        let eye = [1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0];
+        let t = ds.transformed(&eye, 3);
+        for (a, b) in t.as_slice().iter().zip(ds.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    /// Transformation is linear: T(x) computed on concatenated data equals
+    /// per-view computation.
+    #[test]
+    fn attribute_groups_roundtrip_through_concat(ds in dataset(20, 4)) {
+        let mv = MultiViewDataset::from_attribute_groups(&ds, &[vec![0, 1], vec![2, 3]]);
+        let back = mv.concatenated();
+        prop_assert_eq!(back.as_slice(), ds.as_slice());
+    }
+
+    /// Bounds really bound every value.
+    #[test]
+    fn bounds_are_tight(ds in dataset(25, 3)) {
+        let bounds = ds.bounds().expect("non-empty");
+        for row in ds.rows() {
+            for (x, (lo, hi)) in row.iter().zip(&bounds) {
+                prop_assert!(lo <= x && x <= hi);
+            }
+        }
+        // Tight: each bound is attained by some object.
+        for (j, (lo, hi)) in bounds.iter().enumerate() {
+            prop_assert!(ds.rows().any(|r| r[j] == *lo));
+            prop_assert!(ds.rows().any(|r| r[j] == *hi));
+        }
+    }
+}

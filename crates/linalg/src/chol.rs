@@ -1,0 +1,186 @@
+//! Cholesky decomposition of symmetric positive-definite matrices.
+//!
+//! Gaussian mixture models (CAMI, co-EM) need covariance inverses and
+//! log-determinants for density evaluation; Cholesky provides both in one
+//! factorisation and doubles as a fast positive-definiteness test.
+
+// Triangular solves index the partially-built solution vector by position;
+// iterator rewrites would obscure the recurrence.
+#![allow(clippy::needless_range_loop)]
+
+use crate::Matrix;
+
+/// Lower-triangular Cholesky factor `L` with `A = L · Lᵀ`.
+#[derive(Clone, Debug)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors the symmetric positive-definite matrix `a`.
+    ///
+    /// Returns `None` if `a` is not positive definite (a pivot drops below
+    /// `1e-12` relative to the largest diagonal element).
+    pub fn new(a: &Matrix) -> Option<Self> {
+        assert!(a.is_square(), "Cholesky requires a square matrix");
+        let n = a.rows();
+        let scale = (0..n).fold(0.0_f64, |m, i| m.max(a[(i, i)].abs())).max(1.0);
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 1e-12 * scale {
+                        return None;
+                    }
+                    l[(i, i)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Some(Self { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` via two triangular solves.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        // Forward solve L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        // Back solve Lᵀ x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// `A⁻¹` assembled column-by-column from [`Self::solve`].
+    pub fn inverse(&self) -> Matrix {
+        let n = self.l.rows();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e);
+            e[j] = 0.0;
+            for (i, &v) in col.iter().enumerate() {
+                inv[(i, j)] = v;
+            }
+        }
+        inv
+    }
+
+    /// `log det A = 2 Σ log L_ii`, computed without forming the determinant
+    /// (which would under/overflow for high-dimensional covariances).
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Squared Mahalanobis distance `(x−μ)ᵀ A⁻¹ (x−μ)` evaluated via a
+    /// single triangular solve (no explicit inverse).
+    pub fn mahalanobis_sq(&self, x: &[f64], mu: &[f64]) -> f64 {
+        let n = self.l.rows();
+        debug_assert_eq!(x.len(), n);
+        debug_assert_eq!(mu.len(), n);
+        // Solve L z = (x − μ); then distance² = ‖z‖².
+        let mut z = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = x[i] - mu[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * z[k];
+            }
+            z[i] = sum / self.l[(i, i)];
+        }
+        z.iter().map(|v| v * v).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        Matrix::from_rows(&[&[4.0, 2.0, 0.6], &[2.0, 5.0, 1.0], &[0.6, 1.0, 3.0]])
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).expect("SPD");
+        let l = ch.factor();
+        assert!(l.matmul(&l.transpose()).approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn solve_matches_direct_inverse() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).expect("SPD");
+        let b = [1.0, -2.0, 0.5];
+        let x = ch.solve(&b);
+        let residual = a.matvec(&x);
+        for (r, bb) in residual.iter().zip(&b) {
+            assert!((r - bb).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn inverse_matches_gauss_jordan() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).expect("SPD");
+        let gj = a.inverse().expect("invertible");
+        assert!(ch.inverse().approx_eq(&gj, 1e-10));
+    }
+
+    #[test]
+    fn log_det_of_diagonal() {
+        let a = Matrix::from_diag(&[2.0, 3.0, 4.0]);
+        let ch = Cholesky::new(&a).expect("SPD");
+        assert!((ch.log_det() - 24.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_positive_definite_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalue -1
+        assert!(Cholesky::new(&a).is_none());
+    }
+
+    #[test]
+    fn mahalanobis_identity_covariance() {
+        let ch = Cholesky::new(&Matrix::identity(2)).unwrap();
+        let d2 = ch.mahalanobis_sq(&[3.0, 4.0], &[0.0, 0.0]);
+        assert!((d2 - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mahalanobis_matches_explicit_inverse() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).unwrap();
+        let x = [1.0, 2.0, -1.0];
+        let mu = [0.5, 0.0, 0.5];
+        let via_chol = ch.mahalanobis_sq(&x, &mu);
+        let inv = a.inverse().unwrap();
+        let via_inv = crate::vector::mahalanobis_sq(&x, &mu, &inv);
+        assert!((via_chol - via_inv).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,247 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! Jacobi is quadratic-ish per sweep but unconditionally stable, requires no
+//! tridiagonalisation machinery, and for the moderate dimensionalities of
+//! the tutorial workloads (covariance matrices of data with `d ≲ 500`) it is
+//! entirely adequate. Eigenvalues are returned sorted in **descending**
+//! order, which is the order PCA and spectral methods consume them in.
+
+use crate::{Matrix, EPS};
+
+/// Result of a symmetric eigendecomposition `A = V · diag(λ) · Vᵀ`.
+#[derive(Clone, Debug)]
+pub struct SymmetricEigen {
+    /// Eigenvalues, sorted descending.
+    pub values: Vec<f64>,
+    /// Column `j` of this matrix is the eigenvector for `values[j]`.
+    pub vectors: Matrix,
+}
+
+impl SymmetricEigen {
+    /// Decomposes the symmetric matrix `a`.
+    ///
+    /// The input is symmetrised (`(A+Aᵀ)/2`) first so that tiny rounding
+    /// asymmetries from upstream computations do not trip the method.
+    ///
+    /// # Panics
+    /// Panics if `a` is not square or is grossly asymmetric
+    /// (relative asymmetry above `1e-6`).
+    pub fn new(a: &Matrix) -> Self {
+        assert!(a.is_square(), "eigendecomposition requires a square matrix");
+        let scale = a.max_abs().max(1.0);
+        assert!(
+            a.is_symmetric(1e-6 * scale),
+            "eigendecomposition requires a (numerically) symmetric matrix"
+        );
+        let mut m = a.clone();
+        m.symmetrize();
+        let n = m.rows();
+        let mut v = Matrix::identity(n);
+
+        // Cyclic Jacobi sweeps: zero out each off-diagonal element in turn
+        // with a Givens rotation until all are negligible.
+        let max_sweeps = 64;
+        for _ in 0..max_sweeps {
+            let off: f64 = off_diagonal_norm(&m);
+            if off <= EPS * scale {
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = m[(p, q)];
+                    if apq.abs() <= EPS * scale {
+                        continue;
+                    }
+                    let app = m[(p, p)];
+                    let aqq = m[(q, q)];
+                    // Rotation angle from the standard Jacobi formulas.
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = if theta >= 0.0 {
+                        1.0 / (theta + (1.0 + theta * theta).sqrt())
+                    } else {
+                        -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+
+                    apply_rotation(&mut m, p, q, c, s);
+                    accumulate_rotation(&mut v, p, q, c, s);
+                }
+            }
+        }
+
+        let mut values: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+        // Sort eigenpairs by descending eigenvalue.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&i, &j| values[j].partial_cmp(&values[i]).unwrap());
+        let vectors = Matrix::from_fn(n, n, |i, j| v[(i, order[j])]);
+        values = order.iter().map(|&i| values[i]).collect();
+
+        Self { values, vectors }
+    }
+
+    /// Reconstructs `V · diag(λ) · Vᵀ` (for testing / residual checks).
+    pub fn reconstruct(&self) -> Matrix {
+        let d = Matrix::from_diag(&self.values);
+        self.vectors.matmul(&d).matmul(&self.vectors.transpose())
+    }
+
+    /// Eigenvector for the `j`-th largest eigenvalue, as an owned vector.
+    pub fn eigenvector(&self, j: usize) -> Vec<f64> {
+        self.vectors.col(j)
+    }
+
+    /// Applies `f` to every eigenvalue and reassembles the matrix
+    /// `V · diag(f(λ)) · Vᵀ`.
+    ///
+    /// This is the single primitive behind matrix square roots, inverse
+    /// square roots and pseudo-inverses of symmetric matrices.
+    pub fn map_values(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        let mapped: Vec<f64> = self.values.iter().map(|&l| f(l)).collect();
+        let d = Matrix::from_diag(&mapped);
+        self.vectors.matmul(&d).matmul(&self.vectors.transpose())
+    }
+}
+
+/// Symmetric matrix square root `A^{1/2}` (negative eigenvalues are clamped
+/// to zero, which turns near-PSD matrices with rounding noise into PSD).
+pub fn sqrtm(a: &Matrix) -> Matrix {
+    SymmetricEigen::new(a).map_values(|l| l.max(0.0).sqrt())
+}
+
+/// Symmetric inverse square root `A^{-1/2}`.
+///
+/// Eigenvalues below `floor` are regularised to `floor` before inversion so
+/// the transformation stays bounded on near-singular scatter matrices; this
+/// mirrors the practical regularisation needed to apply Qi & Davidson's
+/// closed-form `M = Σ̃^{-1/2}` to degenerate clusterings.
+pub fn inv_sqrtm(a: &Matrix, floor: f64) -> Matrix {
+    assert!(floor > 0.0, "regularisation floor must be positive");
+    SymmetricEigen::new(a).map_values(|l| 1.0 / l.max(floor).sqrt())
+}
+
+fn off_diagonal_norm(m: &Matrix) -> f64 {
+    let n = m.rows();
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            s += 2.0 * m[(i, j)] * m[(i, j)];
+        }
+    }
+    s.sqrt()
+}
+
+/// Applies the two-sided Jacobi rotation `JᵀMJ` on rows/cols `p`,`q`.
+fn apply_rotation(m: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let n = m.rows();
+    for k in 0..n {
+        let mkp = m[(k, p)];
+        let mkq = m[(k, q)];
+        m[(k, p)] = c * mkp - s * mkq;
+        m[(k, q)] = s * mkp + c * mkq;
+    }
+    for k in 0..n {
+        let mpk = m[(p, k)];
+        let mqk = m[(q, k)];
+        m[(p, k)] = c * mpk - s * mqk;
+        m[(q, k)] = s * mpk + c * mqk;
+    }
+}
+
+/// Accumulates the rotation into the eigenvector matrix: `V ← VJ`.
+fn accumulate_rotation(v: &mut Matrix, p: usize, q: usize, c: f64, s: f64) {
+    let n = v.rows();
+    for k in 0..n {
+        let vkp = v[(k, p)];
+        let vkq = v[(k, q)];
+        v[(k, p)] = c * vkp - s * vkq;
+        v[(k, q)] = s * vkp + c * vkq;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::dot;
+
+    #[test]
+    fn eigen_of_diagonal_matrix() {
+        let a = Matrix::from_diag(&[3.0, 1.0, 2.0]);
+        let e = SymmetricEigen::new(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 2.0).abs() < 1e-10);
+        assert!((e.values[2] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigen_known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1 with eigenvectors
+        // (1,1)/√2 and (1,-1)/√2.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = SymmetricEigen::new(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        let v0 = e.eigenvector(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((v0[0] - v0[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_matches_input() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, -2.0],
+            &[1.0, 2.0, 0.0],
+            &[-2.0, 0.0, 3.0],
+        ]);
+        let e = SymmetricEigen::new(&a);
+        assert!(e.reconstruct().approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Matrix::from_rows(&[
+            &[5.0, 2.0, 1.0],
+            &[2.0, 6.0, 2.0],
+            &[1.0, 2.0, 7.0],
+        ]);
+        let e = SymmetricEigen::new(&a);
+        for i in 0..3 {
+            for j in 0..3 {
+                let d = dot(&e.eigenvector(i), &e.eigenvector(j));
+                let expected = if i == j { 1.0 } else { 0.0 };
+                assert!((d - expected).abs() < 1e-9, "({i},{j}): {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn sqrtm_squares_back() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 9.0]]);
+        let s = sqrtm(&a);
+        assert!(s.matmul(&s).approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn inv_sqrtm_inverts_sqrt() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 9.0]]);
+        let is = inv_sqrtm(&a, 1e-12);
+        // A^{-1/2} · A · A^{-1/2} = I
+        let i = is.matmul(&a).matmul(&is);
+        assert!(i.approx_eq(&Matrix::identity(2), 1e-9));
+    }
+
+    #[test]
+    fn inv_sqrtm_regularises_singular_matrix() {
+        // Rank-1 matrix: the floor keeps the result finite.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let is = inv_sqrtm(&a, 1e-6);
+        assert!(is.max_abs().is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn asymmetric_input_panics() {
+        let a = Matrix::from_rows(&[&[1.0, 5.0], &[0.0, 1.0]]);
+        let _ = SymmetricEigen::new(&a);
+    }
+}

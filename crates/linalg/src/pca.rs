@@ -1,0 +1,193 @@
+//! Principal component analysis on row-major data.
+//!
+//! PCA is the workhorse of the orthogonal-transformation paradigm: Cui et
+//! al. (2007) run PCA **on the cluster means** of the current solution to
+//! find the "explanatory" subspace `A = [φ₁..φ_p]`, keep the grouping in the
+//! projection `A·x`, and then move to the *orthogonal complement*
+//! `M = I − A(AᵀA)⁻¹Aᵀ` to reveal the next clustering (slides 57–59).
+
+use crate::eigen::SymmetricEigen;
+use crate::Matrix;
+
+/// A fitted PCA model.
+#[derive(Clone, Debug)]
+pub struct Pca {
+    mean: Vec<f64>,
+    /// `d × d` matrix whose columns are principal directions (descending
+    /// explained variance).
+    components: Matrix,
+    /// Variance explained by each component (eigenvalues of the covariance
+    /// matrix, clamped at zero), descending.
+    explained_variance: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits PCA to `data` given as rows.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty or rows have inconsistent lengths.
+    pub fn fit(data: &[&[f64]]) -> Self {
+        assert!(!data.is_empty(), "PCA requires at least one row");
+        let d = data[0].len();
+        let n = data.len() as f64;
+        let mut mean = vec![0.0; d];
+        for row in data {
+            assert_eq!(row.len(), d, "rows must have equal length");
+            for (m, &x) in mean.iter_mut().zip(*row) {
+                *m += x;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        // Covariance (biased, 1/n — the convention does not affect the
+        // directions, which is all the consumers use).
+        let mut cov = Matrix::zeros(d, d);
+        for row in data {
+            for i in 0..d {
+                let di = row[i] - mean[i];
+                for j in i..d {
+                    cov[(i, j)] += di * (row[j] - mean[j]);
+                }
+            }
+        }
+        for i in 0..d {
+            for j in i..d {
+                let v = cov[(i, j)] / n;
+                cov[(i, j)] = v;
+                cov[(j, i)] = v;
+            }
+        }
+        let eig = SymmetricEigen::new(&cov);
+        let explained_variance = eig.values.iter().map(|&l| l.max(0.0)).collect();
+        Self { mean, components: eig.vectors, explained_variance }
+    }
+
+    /// The per-dimension mean removed before projection.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Variance explained by each component, descending.
+    pub fn explained_variance(&self) -> &[f64] {
+        &self.explained_variance
+    }
+
+    /// The top-`p` principal directions as a `d × p` matrix (columns are
+    /// components) — the subspace `A` of Cui et al.
+    pub fn components(&self, p: usize) -> Matrix {
+        let d = self.components.rows();
+        assert!(p <= d, "cannot take more components than dimensions");
+        Matrix::from_fn(d, p, |i, j| self.components[(i, j)])
+    }
+
+    /// Smallest number of components explaining at least `fraction` of the
+    /// total variance (`fraction` in `(0, 1]`).
+    pub fn components_for_variance(&self, fraction: f64) -> usize {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0,1]");
+        let total: f64 = self.explained_variance.iter().sum();
+        if total == 0.0 {
+            return 0;
+        }
+        let mut acc = 0.0;
+        for (i, v) in self.explained_variance.iter().enumerate() {
+            acc += v;
+            if acc / total >= fraction {
+                return i + 1;
+            }
+        }
+        self.explained_variance.len()
+    }
+
+    /// Projects a point onto the top-`p` components (centred scores).
+    pub fn transform(&self, x: &[f64], p: usize) -> Vec<f64> {
+        let centred: Vec<f64> = x.iter().zip(&self.mean).map(|(a, m)| a - m).collect();
+        (0..p)
+            .map(|j| {
+                (0..centred.len())
+                    .map(|i| centred[i] * self.components[(i, j)])
+                    .sum()
+            })
+            .collect()
+    }
+}
+
+/// The orthogonal-complement projector `M = I − A(AᵀA)⁻¹Aᵀ` of Cui et al.
+/// (2007), slide 59: projects data onto the subspace orthogonal to the
+/// column space of `A`.
+///
+/// # Panics
+/// Panics if `AᵀA` is singular (columns of `A` linearly dependent).
+pub fn orthogonal_projector(a: &Matrix) -> Matrix {
+    let at = a.transpose();
+    let gram = at.matmul(a);
+    let gram_inv = gram
+        .inverse()
+        .expect("columns of the explanatory subspace must be independent");
+    let proj = a.matmul(&gram_inv).matmul(&at);
+    &Matrix::identity(a.rows()) - &proj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::dot;
+
+    #[test]
+    fn pca_finds_dominant_direction() {
+        // Points spread along (1, 1) direction with tiny orthogonal noise.
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| {
+                let t = i as f64 / 10.0;
+                vec![t + 0.001 * (i % 3) as f64, t - 0.001 * (i % 2) as f64]
+            })
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let pca = Pca::fit(&refs);
+        let c0 = pca.components(1).col(0);
+        let diag = [std::f64::consts::FRAC_1_SQRT_2; 2];
+        assert!(dot(&c0, &diag).abs() > 0.999, "dominant direction ≈ (1,1)/√2");
+        assert!(pca.explained_variance()[0] > 100.0 * pca.explained_variance()[1]);
+    }
+
+    #[test]
+    fn transform_centres_scores() {
+        let rows = [[1.0, 0.0], [3.0, 0.0]];
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let pca = Pca::fit(&refs);
+        assert_eq!(pca.mean(), &[2.0, 0.0]);
+        let s1 = pca.transform(&[1.0, 0.0], 1);
+        let s2 = pca.transform(&[3.0, 0.0], 1);
+        assert!((s1[0] + s2[0]).abs() < 1e-12, "scores symmetric around 0");
+        assert!((s1[0].abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn components_for_variance_thresholds() {
+        let rows = [[10.0, 0.0], [-10.0, 0.0], [0.0, 0.1], [0.0, -0.1]];
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let pca = Pca::fit(&refs);
+        assert_eq!(pca.components_for_variance(0.9), 1);
+        assert_eq!(pca.components_for_variance(1.0), 2);
+    }
+
+    #[test]
+    fn orthogonal_projector_annihilates_subspace() {
+        // A = span{(1,0,0), (0,1,0)}; projector keeps only z.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[0.0, 0.0]]);
+        let m = orthogonal_projector(&a);
+        let px = m.matvec(&[3.0, -2.0, 5.0]);
+        assert!(px[0].abs() < 1e-12);
+        assert!(px[1].abs() < 1e-12);
+        assert!((px[2] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orthogonal_projector_is_idempotent() {
+        let a = Matrix::from_rows(&[&[1.0], &[1.0], &[0.5]]);
+        let m = orthogonal_projector(&a);
+        assert!(m.matmul(&m).approx_eq(&m, 1e-10), "projectors satisfy M² = M");
+        // And symmetric.
+        assert!(m.is_symmetric(1e-12));
+    }
+}

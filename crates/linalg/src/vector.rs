@@ -1,0 +1,178 @@
+//! Free functions on `&[f64]` vectors.
+//!
+//! Distance computations are the hot path of every clustering algorithm in
+//! the workspace; these helpers are written to be inlined into the callers'
+//! loops and to avoid intermediate allocation.
+
+/// Dot product `a · b`.
+///
+/// # Panics
+/// Panics if the slices have different lengths (debug builds).
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Squared Euclidean distance `‖a − b‖²`.
+#[inline]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean distance `‖a − b‖`.
+#[inline]
+pub fn dist(a: &[f64], b: &[f64]) -> f64 {
+    sq_dist(a, b).sqrt()
+}
+
+/// Squared Euclidean distance restricted to the given dimensions.
+///
+/// This is the subspace distance `dist_S(o, p) = sqrt(Σ_{i∈S}(o_i − p_i)²)`
+/// of the tutorial's subspace-clustering section (squared to avoid the
+/// `sqrt` when only comparisons are needed).
+#[inline]
+pub fn sq_dist_subspace(a: &[f64], b: &[f64], dims: &[usize]) -> f64 {
+    dims.iter()
+        .map(|&i| {
+            let d = a[i] - b[i];
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean norm `‖a‖`.
+#[inline]
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// `y ← y + alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scales `x` in place by `alpha`.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Normalises `x` to unit Euclidean length in place.
+///
+/// Leaves a zero vector untouched and returns `false` in that case.
+pub fn normalize(x: &mut [f64]) -> bool {
+    let n = norm(x);
+    if n == 0.0 {
+        return false;
+    }
+    scale(1.0 / n, x);
+    true
+}
+
+/// Component-wise mean of a set of equally-long rows.
+///
+/// Returns `None` when `rows` is empty.
+pub fn mean(rows: &[&[f64]]) -> Option<Vec<f64>> {
+    let first = rows.first()?;
+    let mut out = vec![0.0; first.len()];
+    for row in rows {
+        axpy(1.0, row, &mut out);
+    }
+    scale(1.0 / rows.len() as f64, &mut out);
+    Some(out)
+}
+
+/// Mahalanobis squared distance `(a−b)ᵀ B (a−b)` for a symmetric matrix `B`
+/// given as a row-major flat slice of size `d × d`.
+///
+/// Used by the constrained-optimisation transformation of Qi & Davidson
+/// (2009), where `B = MᵀM` for the learned transformation `M`.
+pub fn mahalanobis_sq(a: &[f64], b: &[f64], bmat: &crate::Matrix) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(bmat.rows(), a.len());
+    let diff: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let bd = bmat.matvec(&diff);
+    dot(&diff, &bd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    #[test]
+    fn dot_orthogonal_is_zero() {
+        assert_eq!(dot(&[1.0, 0.0], &[0.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn sq_dist_matches_hand_value() {
+        assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(dist(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn subspace_distance_restricts_dimensions() {
+        let a = [0.0, 10.0, 0.0];
+        let b = [3.0, -10.0, 4.0];
+        assert_eq!(sq_dist_subspace(&a, &b, &[0, 2]), 25.0);
+        assert_eq!(sq_dist_subspace(&a, &b, &[]), 0.0);
+        // Full-dimensional subspace distance equals the plain distance.
+        assert_eq!(sq_dist_subspace(&a, &b, &[0, 1, 2]), sq_dist(&a, &b));
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn normalize_unit_length() {
+        let mut v = vec![3.0, 4.0];
+        assert!(normalize(&mut v));
+        assert!((norm(&v) - 1.0).abs() < 1e-12);
+        let mut z = vec![0.0, 0.0];
+        assert!(!normalize(&mut z));
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn mean_of_rows() {
+        let r1 = [0.0, 2.0];
+        let r2 = [4.0, 6.0];
+        let m = mean(&[&r1, &r2]).unwrap();
+        assert_eq!(m, vec![2.0, 4.0]);
+        assert!(mean(&[]).is_none());
+    }
+
+    #[test]
+    fn mahalanobis_identity_is_euclidean() {
+        let b = Matrix::identity(2);
+        let d2 = mahalanobis_sq(&[1.0, 2.0], &[4.0, 6.0], &b);
+        assert!((d2 - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mahalanobis_weights_dimensions() {
+        // B = diag(4, 1): first dimension counts double in distance.
+        let b = Matrix::from_diag(&[4.0, 1.0]);
+        let d2 = mahalanobis_sq(&[0.0, 0.0], &[1.0, 1.0], &b);
+        assert!((d2 - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,456 @@
+//! co-EM multi-view clustering (Bickel & Scheffer 2004) — slides 98–104.
+//!
+//! Two conditionally independent views of the same objects, one Gaussian
+//! mixture hypothesis per view. The views *bootstrap each other*: the
+//! M-step of view `v` maximises the likelihood of view `v`'s data under
+//! the **posterior assignments computed in the other view** `v̄`
+//! (slide 102), then the E-step refreshes view `v`'s posteriors. Agreement
+//! between the hypotheses grows — and disagreement upper-bounds the error
+//! of either one (slide 99).
+//!
+//! The tutorial's caveat (slide 104) is implemented faithfully: iterative
+//! co-EM *might not terminate* (assignments can oscillate between views),
+//! so the loop carries an explicit agreement-stability termination
+//! criterion on top of the iteration cap.
+
+use multiclust_core::{Clustering, SoftClustering};
+use multiclust_data::MultiViewDataset;
+use multiclust_linalg::{Cholesky, Matrix};
+use rand::rngs::StdRng;
+
+use multiclust_base::gmm::Component;
+use multiclust_base::kmeans::plus_plus_init;
+
+/// co-EM configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct CoEm {
+    k: usize,
+    max_iter: usize,
+    /// Terminate once the inter-view agreement changes by less than this
+    /// between iterations (the anti-oscillation criterion of slide 104).
+    agreement_tol: f64,
+    reg: f64,
+}
+
+/// Result of a co-EM run.
+#[derive(Clone, Debug)]
+pub struct CoEmResult {
+    /// Per-view soft assignments at convergence.
+    pub soft: [SoftClustering; 2],
+    /// The consensus clustering (hardened product of the two posteriors).
+    pub consensus: Clustering,
+    /// Per-view fitted components.
+    pub components: [Vec<Component>; 2],
+    /// Per-view log-likelihoods of the final models on their own views.
+    pub log_likelihoods: [f64; 2],
+    /// Inter-view agreement (mean over objects of `Σ_c r₁c·r₂c`) per
+    /// iteration — the bootstrapping trace of slide 103.
+    pub agreement_history: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// `true` when the loop hit the iteration cap without stabilising —
+    /// the non-termination caveat surfaced to the caller.
+    pub hit_iteration_cap: bool,
+}
+
+impl CoEm {
+    /// co-EM with `k` mixture components per view.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        Self { k, max_iter: 100, agreement_tol: 1e-6, reg: 1e-4 }
+    }
+
+    /// Sets the iteration cap.
+    #[must_use]
+    pub fn with_max_iter(mut self, max_iter: usize) -> Self {
+        self.max_iter = max_iter;
+        self
+    }
+
+    /// Sets the agreement-stability tolerance.
+    #[must_use]
+    pub fn with_agreement_tol(mut self, tol: f64) -> Self {
+        assert!(tol >= 0.0);
+        self.agreement_tol = tol;
+        self
+    }
+
+    /// Runs co-EM on the first two views of `mv`.
+    ///
+    /// # Panics
+    /// Panics when `mv` has fewer than two views or fewer than `k`
+    /// objects.
+    pub fn fit(&self, mv: &MultiViewDataset, rng: &mut StdRng) -> CoEmResult {
+        assert!(mv.num_views() >= 2, "co-EM needs two views");
+        let n = mv.len();
+        assert!(n >= self.k, "need at least k objects");
+        let views = [mv.view(0), mv.view(1)];
+
+        // Initialise each view's components independently (k-means++ on
+        // its own view).
+        let mut comps: [Vec<Component>; 2] = [
+            init_components(views[0], self.k, self.reg, rng),
+            init_components(views[1], self.k, self.reg, rng),
+        ];
+        let mut resp: [Vec<Vec<f64>>; 2] = [
+            vec![vec![1.0 / self.k as f64; self.k]; n],
+            vec![vec![1.0 / self.k as f64; self.k]; n],
+        ];
+        // Bootstrap: E-step each view against its own initialisation.
+        for v in 0..2 {
+            let _ = e_step(views[v], &comps[v], &mut resp[v]);
+        }
+
+        let mut agreement_history = Vec::new();
+        let mut iterations = 0;
+        let mut hit_iteration_cap = true;
+        for _ in 0..self.max_iter {
+            iterations += 1;
+            // Slide 102: for v = 0, 1 —
+            //   Maximisation of view v under the posteriors of view v̄,
+            //   then Expectation in view v under the new parameters.
+            for v in 0..2 {
+                let other = 1 - v;
+                let other_resp = resp[other].clone();
+                m_step(views[v], &other_resp, &mut comps[v], self.reg);
+                let _ = e_step(views[v], &comps[v], &mut resp[v]);
+            }
+            let agreement = mean_agreement(&resp[0], &resp[1]);
+            let stable = agreement_history
+                .last()
+                .is_some_and(|&prev: &f64| (agreement - prev).abs() <= self.agreement_tol);
+            agreement_history.push(agreement);
+            if stable {
+                hit_iteration_cap = false;
+                break;
+            }
+        }
+
+        let log_likelihoods = [
+            e_step(views[0], &comps[0], &mut resp[0]),
+            e_step(views[1], &comps[1], &mut resp[1]),
+        ];
+        // Consensus: product of per-view posteriors, renormalised.
+        let consensus_rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let mut row: Vec<f64> = resp[0][i]
+                    .iter()
+                    .zip(&resp[1][i])
+                    .map(|(a, b)| a * b)
+                    .collect();
+                let s: f64 = row.iter().sum();
+                if s > 0.0 {
+                    for x in &mut row {
+                        *x /= s;
+                    }
+                } else {
+                    row = vec![1.0 / self.k as f64; self.k];
+                }
+                row
+            })
+            .collect();
+        let consensus = SoftClustering::new(consensus_rows).to_hard();
+        let soft = [
+            SoftClustering::new(normalize_rows(resp[0].clone())),
+            SoftClustering::new(normalize_rows(resp[1].clone())),
+        ];
+        CoEmResult {
+            soft,
+            consensus,
+            components: comps,
+            log_likelihoods,
+            agreement_history,
+            iterations,
+            hit_iteration_cap,
+        }
+    }
+}
+
+/// Mean over objects of the posterior inner product `Σ_c r₁[i][c]·r₂[i][c]`
+/// — 1 when both views assign identically with certainty.
+pub fn mean_agreement(r1: &[Vec<f64>], r2: &[Vec<f64>]) -> f64 {
+    if r1.is_empty() {
+        return 1.0;
+    }
+    let total: f64 = r1
+        .iter()
+        .zip(r2)
+        .map(|(a, b)| a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>())
+        .sum();
+    total / r1.len() as f64
+}
+
+/// Log-likelihood of `data` under a fitted component set (utility for the
+/// slide-104 experiment: initialising single-view EM with co-EM's final
+/// parameters yields a higher likelihood than single-view EM alone).
+pub fn log_likelihood(data: &multiclust_data::Dataset, comps: &[Component]) -> f64 {
+    let mut resp = vec![vec![0.0; comps.len()]; data.len()];
+    e_step(data, comps, &mut resp)
+}
+
+/// One standard EM iteration (M-step on given responsibilities, then
+/// E-step) — used to continue a co-EM solution single-view.
+pub fn single_view_iteration(
+    data: &multiclust_data::Dataset,
+    comps: &mut [Component],
+    resp: &mut [Vec<f64>],
+    reg: f64,
+) -> f64 {
+    let snapshot = resp.to_vec();
+    m_step(data, &snapshot, comps, reg);
+    e_step(data, comps, resp)
+}
+
+fn init_components(
+    data: &multiclust_data::Dataset,
+    k: usize,
+    reg: f64,
+    rng: &mut StdRng,
+) -> Vec<Component> {
+    let means = plus_plus_init(data, k, rng);
+    let cov = global_covariance(data, reg);
+    means
+        .into_iter()
+        .map(|mean| Component { weight: 1.0 / k as f64, mean, cov: cov.clone() })
+        .collect()
+}
+
+fn e_step(
+    data: &multiclust_data::Dataset,
+    comps: &[Component],
+    resp: &mut [Vec<f64>],
+) -> f64 {
+    let factors: Vec<(Cholesky, f64)> = comps
+        .iter()
+        .map(|c| {
+            let ch = Cholesky::new(&c.cov).expect("regularised covariance is SPD");
+            let log_norm = -0.5
+                * (c.mean.len() as f64 * (2.0 * std::f64::consts::PI).ln() + ch.log_det());
+            (ch, log_norm)
+        })
+        .collect();
+    let mut total = 0.0;
+    for (i, row) in data.rows().enumerate() {
+        let log_p: Vec<f64> = comps
+            .iter()
+            .zip(&factors)
+            .map(|(c, (ch, log_norm))| {
+                c.weight.max(1e-300).ln() + log_norm - 0.5 * ch.mahalanobis_sq(row, &c.mean)
+            })
+            .collect();
+        let max = log_p.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v));
+        let log_sum = max + log_p.iter().map(|&l| (l - max).exp()).sum::<f64>().ln();
+        total += log_sum;
+        for (r, &l) in resp[i].iter_mut().zip(&log_p) {
+            *r = (l - log_sum).exp();
+        }
+    }
+    total
+}
+
+fn m_step(
+    data: &multiclust_data::Dataset,
+    resp: &[Vec<f64>],
+    comps: &mut [Component],
+    reg: f64,
+) {
+    let d = data.dims();
+    let n = data.len() as f64;
+    for (j, comp) in comps.iter_mut().enumerate() {
+        let nj: f64 = resp.iter().map(|r| r[j]).sum::<f64>().max(1e-12);
+        comp.weight = nj / n;
+        let mut mean = vec![0.0; d];
+        for (row, r) in data.rows().zip(resp) {
+            for (m, &x) in mean.iter_mut().zip(row) {
+                *m += r[j] * x;
+            }
+        }
+        for m in &mut mean {
+            *m /= nj;
+        }
+        let mut cov = Matrix::zeros(d, d);
+        for (row, r) in data.rows().zip(resp) {
+            let w = r[j];
+            if w == 0.0 {
+                continue;
+            }
+            for a in 0..d {
+                let da = row[a] - mean[a];
+                for b in a..d {
+                    cov[(a, b)] += w * da * (row[b] - mean[b]);
+                }
+            }
+        }
+        for a in 0..d {
+            for b in a..d {
+                let v = cov[(a, b)] / nj;
+                cov[(a, b)] = v;
+                cov[(b, a)] = v;
+            }
+            cov[(a, a)] += reg;
+        }
+        comp.mean = mean;
+        comp.cov = cov;
+    }
+}
+
+fn global_covariance(data: &multiclust_data::Dataset, reg: f64) -> Matrix {
+    let d = data.dims();
+    let n = data.len() as f64;
+    let mean = data.mean();
+    let mut cov = Matrix::zeros(d, d);
+    for row in data.rows() {
+        for a in 0..d {
+            let da = row[a] - mean[a];
+            for b in a..d {
+                cov[(a, b)] += da * (row[b] - mean[b]);
+            }
+        }
+    }
+    for a in 0..d {
+        for b in a..d {
+            let v = cov[(a, b)] / n;
+            cov[(a, b)] = v;
+            cov[(b, a)] = v;
+        }
+        cov[(a, a)] += reg;
+    }
+    cov
+}
+
+fn normalize_rows(mut rows: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+    for row in &mut rows {
+        let s: f64 = row.iter().sum();
+        if s > 0.0 {
+            for x in row.iter_mut() {
+                *x /= s;
+            }
+        }
+    }
+    rows
+}
+
+
+impl CoEm {
+    /// Taxonomy card (slide 116 row "(Bickel & Scheffer, 2004)").
+    pub fn card() -> multiclust_core::taxonomy::AlgorithmCard {
+        use multiclust_core::taxonomy::*;
+        AlgorithmCard {
+            name: "co-EM",
+            reference: "Bickel & Scheffer 2004",
+            space: SearchSpace::MultiSource,
+            processing: Processing::Simultaneous,
+            knowledge: GivenKnowledge::None,
+            solutions: Solutions::One,
+            subspace: SubspaceAwareness::GivenViews,
+            flexibility: Flexibility::Specialized,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiclust_core::measures::diss::adjusted_rand_index;
+    use multiclust_data::synthetic::gauss;
+    use multiclust_data::{seeded_rng, Dataset};
+    use rand::Rng;
+
+    /// Two views that agree on a planted 2-cluster structure, each with
+    /// its own geometry.
+    fn consistent_two_views(
+        n: usize,
+        seed: u64,
+    ) -> (MultiViewDataset, Clustering) {
+        let mut rng = seeded_rng(seed);
+        let mut v1 = Dataset::with_dims(2);
+        let mut v2 = Dataset::with_dims(3);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let c = usize::from(rng.gen::<bool>());
+            labels.push(c);
+            let base1 = if c == 0 { 0.0 } else { 8.0 };
+            let base2 = if c == 0 { -5.0 } else { 5.0 };
+            v1.push_row(&[base1 + gauss(&mut rng), base1 + gauss(&mut rng)]);
+            v2.push_row(&[
+                base2 + gauss(&mut rng),
+                base2 + gauss(&mut rng),
+                gauss(&mut rng),
+            ]);
+        }
+        (
+            MultiViewDataset::new(vec![v1, v2]),
+            Clustering::from_labels(&labels),
+        )
+    }
+
+    #[test]
+    fn consensus_recovers_shared_structure() {
+        let (mv, truth) = consistent_two_views(120, 221);
+        let mut rng = seeded_rng(222);
+        let mut best = f64::NEG_INFINITY;
+        for _ in 0..3 {
+            let res = CoEm::new(2).fit(&mv, &mut rng);
+            best = best.max(adjusted_rand_index(&res.consensus, &truth));
+        }
+        assert!(best > 0.95, "consensus ARI {best}");
+    }
+
+    #[test]
+    fn agreement_grows_during_bootstrapping() {
+        let (mv, _) = consistent_two_views(100, 223);
+        let mut rng = seeded_rng(224);
+        let res = CoEm::new(2).fit(&mv, &mut rng);
+        let first = res.agreement_history.first().copied().unwrap();
+        let last = res.agreement_history.last().copied().unwrap();
+        assert!(
+            last >= first - 1e-9,
+            "agreement non-decreasing overall: {first} → {last}"
+        );
+        assert!(last > 0.8, "strong final agreement: {last}");
+    }
+
+    #[test]
+    fn termination_criterion_fires() {
+        let (mv, _) = consistent_two_views(80, 225);
+        let mut rng = seeded_rng(226);
+        let res = CoEm::new(2).with_max_iter(200).fit(&mv, &mut rng);
+        assert!(
+            !res.hit_iteration_cap,
+            "agreement stabilises well before 200 iterations (ran {})",
+            res.iterations
+        );
+        assert!(res.iterations < 200);
+    }
+
+    /// Slide 104: initialising single-view EM with co-EM's final
+    /// parameters yields a higher single-view likelihood than the co-EM
+    /// state itself — and the continuation never decreases it.
+    #[test]
+    fn single_view_continuation_improves_likelihood() {
+        let (mv, _) = consistent_two_views(100, 227);
+        let mut rng = seeded_rng(228);
+        let res = CoEm::new(2).fit(&mv, &mut rng);
+        let view0 = mv.view(0);
+        let mut comps = res.components[0].clone();
+        let mut resp: Vec<Vec<f64>> = (0..view0.len())
+            .map(|i| res.soft[0].responsibilities(i).to_vec())
+            .collect();
+        let before = log_likelihood(view0, &comps);
+        let mut ll = before;
+        for _ in 0..20 {
+            ll = single_view_iteration(view0, &mut comps, &mut resp, 1e-4);
+        }
+        assert!(ll >= before - 1e-6, "continuation is monotone: {before} → {ll}");
+    }
+
+    #[test]
+    fn mean_agreement_bounds() {
+        let certain = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        assert!((mean_agreement(&certain, &certain) - 1.0).abs() < 1e-12);
+        let opposite = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        assert_eq!(mean_agreement(&certain, &opposite), 0.0);
+        let uniform = vec![vec![0.5, 0.5]; 2];
+        assert!((mean_agreement(&uniform, &uniform) - 0.5).abs() < 1e-12);
+    }
+}

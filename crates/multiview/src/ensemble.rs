@@ -1,0 +1,264 @@
+//! Cluster ensembles and consensus clustering — slides 108–110.
+//!
+//! When one high-dimensional source is split into many (random) lower
+//! dimensional views, clustering each view yields an *ensemble* whose
+//! consensus is more stable than any single run:
+//!
+//! * [`co_association`] / [`soft_co_association`] — pairwise same-cluster
+//!   statistics, the latter being Fern & Brodley's
+//!   `P^θ_{ij} = Σ_l P(l|i,θ)·P(l|j,θ)` (slide 110);
+//! * [`consensus_from_association`] — average-link agglomeration of the
+//!   association matrix into a final partition (the "similarity measure
+//!   between partitions and reclustering of objects" instantiation);
+//! * [`average_nmi`] — the shared-mutual-information consensus objective
+//!   of Strehl & Ghosh (2002): the consensus shares maximal information
+//!   with the ensemble members;
+//! * [`RandomProjectionEnsemble`] — the full Fern & Brodley pipeline:
+//!   random projections + EM per view + soft co-association + consensus.
+
+use multiclust_core::measures::diss::normalized_mutual_information;
+use multiclust_core::{Clustering, SoftClustering};
+use multiclust_data::synthetic::gauss;
+use multiclust_data::Dataset;
+use multiclust_linalg::Matrix;
+use rand::rngs::StdRng;
+
+use multiclust_base::gmm::GaussianMixture;
+
+/// Hard co-association matrix: `A[i][j]` = fraction of ensemble members
+/// co-clustering objects `i` and `j`.
+pub fn co_association(members: &[Clustering]) -> Matrix {
+    assert!(!members.is_empty(), "ensemble must not be empty");
+    let n = members[0].len();
+    assert!(members.iter().all(|c| c.len() == n), "member size mismatch");
+    let mut a = Matrix::zeros(n, n);
+    for c in members {
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if c.same_cluster(i, j) {
+                    a[(i, j)] += 1.0;
+                    a[(j, i)] += 1.0;
+                }
+            }
+        }
+    }
+    let m = members.len() as f64;
+    let mut out = a.scaled(1.0 / m);
+    for i in 0..n {
+        out[(i, i)] = 1.0;
+    }
+    out
+}
+
+/// Soft co-association: mean over ensemble members of
+/// `P^θ_{ij} = Σ_l P(l|i,θ)·P(l|j,θ)` (Fern & Brodley 2003, slide 110).
+pub fn soft_co_association(members: &[SoftClustering]) -> Matrix {
+    assert!(!members.is_empty(), "ensemble must not be empty");
+    let n = members[0].len();
+    assert!(members.iter().all(|c| c.len() == n), "member size mismatch");
+    let mut a = Matrix::zeros(n, n);
+    for c in members {
+        for i in 0..n {
+            for j in i..n {
+                let p = c.same_cluster_probability(i, j);
+                a[(i, j)] += p;
+                if i != j {
+                    a[(j, i)] += p;
+                }
+            }
+        }
+    }
+    a.scaled(1.0 / members.len() as f64)
+}
+
+/// Average-link agglomeration of a similarity matrix into `k` clusters
+/// (distance = `1 − similarity`).
+pub fn consensus_from_association(assoc: &Matrix, k: usize) -> Clustering {
+    assert!(assoc.is_square(), "association matrix must be square");
+    let n = assoc.rows();
+    assert!(k >= 1 && k <= n, "1 ≤ k ≤ n required");
+    let mut groups: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    while groups.len() > k {
+        let mut best = (0usize, 1usize, f64::NEG_INFINITY);
+        for i in 0..groups.len() {
+            for j in (i + 1)..groups.len() {
+                let mut s = 0.0;
+                for &a in &groups[i] {
+                    for &b in &groups[j] {
+                        s += assoc[(a, b)];
+                    }
+                }
+                s /= (groups[i].len() * groups[j].len()) as f64;
+                if s > best.2 {
+                    best = (i, j, s);
+                }
+            }
+        }
+        let merged = groups.swap_remove(best.1);
+        groups[best.0].extend(merged);
+    }
+    Clustering::from_members(n, &groups)
+}
+
+/// Average NMI of a candidate consensus to the ensemble members — the
+/// objective Strehl & Ghosh's consensus functions maximise (slide 110).
+pub fn average_nmi(candidate: &Clustering, members: &[Clustering]) -> f64 {
+    assert!(!members.is_empty(), "ensemble must not be empty");
+    members
+        .iter()
+        .map(|m| normalized_mutual_information(candidate, m))
+        .sum::<f64>()
+        / members.len() as f64
+}
+
+/// The Fern & Brodley (2003) pipeline: `runs` random Gaussian projections
+/// to `target_dims`, an EM mixture per projection, soft co-association
+/// aggregation, and average-link consensus.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomProjectionEnsemble {
+    /// Number of random projections (ensemble size).
+    pub runs: usize,
+    /// Dimensionality of each random projection.
+    pub target_dims: usize,
+    /// Mixture components per run.
+    pub k_per_run: usize,
+    /// Final consensus cluster count.
+    pub k_consensus: usize,
+}
+
+/// Output of the random-projection ensemble.
+#[derive(Clone, Debug)]
+pub struct EnsembleResult {
+    /// The consensus partition.
+    pub consensus: Clustering,
+    /// Each run's hard clustering (for diagnostics / the E18 comparison).
+    pub members: Vec<Clustering>,
+    /// The aggregated soft co-association matrix.
+    pub association: Matrix,
+}
+
+impl RandomProjectionEnsemble {
+    /// Creates the pipeline configuration.
+    pub fn new(runs: usize, target_dims: usize, k_per_run: usize, k_consensus: usize) -> Self {
+        assert!(runs >= 1 && target_dims >= 1 && k_per_run >= 1 && k_consensus >= 1);
+        Self { runs, target_dims, k_per_run, k_consensus }
+    }
+
+    /// Runs the pipeline.
+    pub fn fit(&self, data: &Dataset, rng: &mut StdRng) -> EnsembleResult {
+        let d = data.dims();
+        let mut soft_members = Vec::with_capacity(self.runs);
+        let mut members = Vec::with_capacity(self.runs);
+        for _ in 0..self.runs {
+            // Random Gaussian projection R: target_dims × d, scaled by
+            // 1/√target_dims.
+            let scale = 1.0 / (self.target_dims as f64).sqrt();
+            let r: Vec<f64> = (0..self.target_dims * d)
+                .map(|_| scale * gauss(rng))
+                .collect();
+            let projected = data.transformed(&r, self.target_dims);
+            let gmm = GaussianMixture::new(self.k_per_run)
+                .with_max_iter(50)
+                .fit(&projected, rng);
+            members.push(gmm.to_hard());
+            soft_members.push(gmm.soft);
+        }
+        let association = soft_co_association(&soft_members);
+        let consensus = consensus_from_association(&association, self.k_consensus);
+        EnsembleResult { consensus, members, association }
+    }
+}
+
+
+impl RandomProjectionEnsemble {
+    /// Taxonomy card (slide 116 row "(Fern & Brodley, 2003)").
+    pub fn card() -> multiclust_core::taxonomy::AlgorithmCard {
+        use multiclust_core::taxonomy::*;
+        AlgorithmCard {
+            name: "RP-Ensemble",
+            reference: "Fern & Brodley 2003",
+            space: SearchSpace::MultiSource,
+            processing: Processing::Independent,
+            knowledge: GivenKnowledge::None,
+            solutions: Solutions::One,
+            subspace: SubspaceAwareness::NoDissimilarity,
+            flexibility: Flexibility::ExchangeableDefinition,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiclust_core::measures::diss::adjusted_rand_index;
+    use multiclust_data::synthetic::{planted_views, ViewSpec};
+    use multiclust_data::seeded_rng;
+
+    #[test]
+    fn co_association_of_identical_members_is_binary() {
+        let c = Clustering::from_labels(&[0, 0, 1, 1]);
+        let a = co_association(&[c.clone(), c]);
+        assert_eq!(a[(0, 1)], 1.0);
+        assert_eq!(a[(0, 2)], 0.0);
+        assert_eq!(a[(2, 3)], 1.0);
+        assert_eq!(a[(1, 1)], 1.0);
+    }
+
+    #[test]
+    fn co_association_averages_disagreement() {
+        let c1 = Clustering::from_labels(&[0, 0, 1]);
+        let c2 = Clustering::from_labels(&[0, 1, 1]);
+        let a = co_association(&[c1, c2]);
+        assert_eq!(a[(0, 1)], 0.5);
+        assert_eq!(a[(1, 2)], 0.5);
+        assert_eq!(a[(0, 2)], 0.0);
+    }
+
+    #[test]
+    fn soft_association_matches_formula() {
+        let s = SoftClustering::new(vec![vec![0.5, 0.5], vec![0.25, 0.75]]);
+        let a = soft_co_association(&[s]);
+        assert!((a[(0, 1)] - (0.5 * 0.25 + 0.5 * 0.75)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consensus_recovers_majority_structure() {
+        // Three members: two agree on the true split, one is scrambled.
+        let truth = Clustering::from_labels(&[0, 0, 0, 1, 1, 1]);
+        let noisy = Clustering::from_labels(&[0, 1, 0, 1, 0, 1]);
+        let a = co_association(&[truth.clone(), truth.clone(), noisy]);
+        let consensus = consensus_from_association(&a, 2);
+        assert_eq!(adjusted_rand_index(&consensus, &truth), 1.0);
+    }
+
+    #[test]
+    fn average_nmi_is_maximised_by_shared_structure() {
+        let truth = Clustering::from_labels(&[0, 0, 0, 1, 1, 1]);
+        let members = vec![truth.clone(), truth.clone()];
+        let other = Clustering::from_labels(&[0, 1, 2, 0, 1, 2]);
+        assert!(average_nmi(&truth, &members) > average_nmi(&other, &members));
+        assert!((average_nmi(&truth, &members) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_projection_ensemble_beats_average_member() {
+        // High-dimensional data with 3 planted clusters in all dims.
+        let mut rng = seeded_rng(241);
+        let spec = ViewSpec { dims: 16, clusters: 3, separation: 3.0, noise: 1.0 };
+        let p = planted_views(120, &[spec], 4, &mut rng);
+        let truth = Clustering::from_labels(&p.truths[0]);
+        let ens = RandomProjectionEnsemble::new(12, 4, 3, 3).fit(&p.dataset, &mut rng);
+        let consensus_ari = adjusted_rand_index(&ens.consensus, &truth);
+        let mean_member_ari: f64 = ens
+            .members
+            .iter()
+            .map(|m| adjusted_rand_index(m, &truth))
+            .sum::<f64>()
+            / ens.members.len() as f64;
+        assert!(
+            consensus_ari >= mean_member_ari,
+            "consensus ({consensus_ari}) at least as good as the mean member ({mean_member_ari})"
+        );
+        assert!(consensus_ari > 0.8, "consensus recovers the structure: {consensus_ari}");
+    }
+}

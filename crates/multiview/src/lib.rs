@@ -1,0 +1,35 @@
+//! Clustering in **multiple given views/sources**
+//! (tutorial section 5, slides 93–112).
+//!
+//! Here the views are *input*: each object is described by several sources
+//! (CT scan + hemogram, text + anchor text, …), and the goal is one
+//! clustering *consistent with all sources* — consensus rather than
+//! alternatives. The crate covers the section's three families:
+//!
+//! * [`co_em`] — multi-view EM that bootstraps two hypotheses by swapping
+//!   posteriors between views (Bickel & Scheffer 2004, slides 101–104,
+//!   including the non-termination guard the tutorial warns about);
+//! * [`mv_dbscan`] — multi-represented DBSCAN with **union** (sparse
+//!   views) and **intersection** (unreliable views) core objects
+//!   (Kailing et al. 2004a, slides 105–107);
+//! * [`spectral`] — multi-view spectral clustering over a convex
+//!   combination of per-view normalised affinities, with reliability
+//!   weights (de Sa 2005; Zhou & Burges 2007, slide 100);
+//! * [`ensemble`] — cluster ensembles: co-association/consensus over many
+//!   base clusterings, random-projection ensembles with the soft
+//!   co-association `P^θ_{ij} = Σ_l P(l|i,θ)·P(l|j,θ)`, and the
+//!   average-NMI consensus objective (Fern & Brodley 2003,
+//!   Strehl & Ghosh 2002, slides 108–110).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod co_em;
+pub mod ensemble;
+pub mod mv_dbscan;
+pub mod spectral;
+
+pub use co_em::CoEm;
+pub use ensemble::RandomProjectionEnsemble;
+pub use mv_dbscan::{MultiViewDbscan, MultiViewMethod};
+pub use spectral::MultiViewSpectral;

@@ -1,0 +1,235 @@
+//! Multi-represented DBSCAN (Kailing, Kriegel, Pryakhin & Schubert 2004a)
+//! — slides 105–107.
+//!
+//! Adapts DBSCAN's core-object property to multiple views, each with its
+//! own distance and `ε`:
+//!
+//! * **Union** (sparse views): `CORE∪(o) ⇔ |∪_v N^v_ε(o)| ≥ k`; `p` is
+//!   directly reachable from core `q` when `p` lies in at least one local
+//!   neighbourhood — objects are grouped when similar in *some* view.
+//! * **Intersection** (unreliable views): `CORE∩(o) ⇔ |∩_v N^v_ε(o)| ≥ k`;
+//!   `p` must lie in *every* local neighbourhood — purer clusters that
+//!   require agreement of all views.
+
+use multiclust_core::Clustering;
+use multiclust_data::MultiViewDataset;
+use multiclust_linalg::vector::sq_dist;
+
+use multiclust_base::dbscan::expand_from_cores;
+
+/// Which multi-view core-object semantics to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MultiViewMethod {
+    /// Union of local neighbourhoods (slide 106) — for sparse views.
+    Union,
+    /// Intersection of local neighbourhoods (slide 107) — for unreliable
+    /// views.
+    Intersection,
+}
+
+/// Multi-view DBSCAN configuration: one `ε` per view, a global `k`
+/// (`min_pts`), and the combination method.
+#[derive(Clone, Debug)]
+pub struct MultiViewDbscan {
+    epsilons: Vec<f64>,
+    k: usize,
+    method: MultiViewMethod,
+}
+
+impl MultiViewDbscan {
+    /// Creates the clusterer.
+    ///
+    /// # Panics
+    /// Panics if `epsilons` is empty, non-positive, or `k == 0`.
+    pub fn new(epsilons: Vec<f64>, k: usize, method: MultiViewMethod) -> Self {
+        assert!(!epsilons.is_empty(), "one ε per view required");
+        assert!(epsilons.iter().all(|&e| e > 0.0), "ε must be positive");
+        assert!(k >= 1, "k must be at least 1");
+        Self { epsilons, k, method }
+    }
+
+    /// The local neighbourhood `N^v_ε(o)` in view `v` (including `o`).
+    pub fn local_neighborhood(&self, mv: &MultiViewDataset, v: usize, o: usize) -> Vec<usize> {
+        let view = mv.view(v);
+        let eps2 = self.epsilons[v] * self.epsilons[v];
+        let ro = view.row(o);
+        (0..view.len())
+            .filter(|&j| sq_dist(ro, view.row(j)) <= eps2)
+            .collect()
+    }
+
+    /// Runs the clustering.
+    ///
+    /// # Panics
+    /// Panics when the number of `ε` values differs from the number of
+    /// views.
+    pub fn fit(&self, mv: &MultiViewDataset) -> Clustering {
+        assert_eq!(
+            self.epsilons.len(),
+            mv.num_views(),
+            "one ε per view required"
+        );
+        let n = mv.len();
+        let views = mv.num_views();
+        // Precompute local neighbourhoods (sorted object lists).
+        let local: Vec<Vec<Vec<usize>>> = (0..views)
+            .map(|v| (0..n).map(|o| self.local_neighborhood(mv, v, o)).collect())
+            .collect();
+        let combined: Vec<Vec<usize>> = (0..n)
+            .map(|o| match self.method {
+                MultiViewMethod::Union => {
+                    let mut u: Vec<usize> =
+                        local.iter().flat_map(|lv| lv[o].iter().copied()).collect();
+                    u.sort_unstable();
+                    u.dedup();
+                    u
+                }
+                MultiViewMethod::Intersection => {
+                    let mut acc = local[0][o].clone();
+                    for lv in &local[1..] {
+                        let set: std::collections::HashSet<usize> =
+                            lv[o].iter().copied().collect();
+                        acc.retain(|x| set.contains(x));
+                    }
+                    acc
+                }
+            })
+            .collect();
+        expand_from_cores(n, |o| combined[o].len() >= self.k, |o| combined[o].clone())
+    }
+}
+
+
+impl MultiViewDbscan {
+    /// Taxonomy card (slide 116 row "(Kailing et al., 2004)").
+    pub fn card() -> multiclust_core::taxonomy::AlgorithmCard {
+        use multiclust_core::taxonomy::*;
+        AlgorithmCard {
+            name: "MV-DBSCAN",
+            reference: "Kailing et al. 2004a",
+            space: SearchSpace::MultiSource,
+            processing: Processing::Simultaneous,
+            knowledge: GivenKnowledge::None,
+            solutions: Solutions::One,
+            subspace: SubspaceAwareness::GivenViews,
+            flexibility: Flexibility::Specialized,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiclust_core::measures::diss::adjusted_rand_index;
+    use multiclust_data::synthetic::gauss;
+    use multiclust_data::{seeded_rng, Dataset};
+    use rand::Rng;
+
+    /// `CORE∩ ⊆ CORE∪` for equal parameters — the structural relation
+    /// between the two semantics.
+    #[test]
+    fn intersection_cores_are_union_cores() {
+        let mut rng = seeded_rng(231);
+        let mut v1 = Dataset::with_dims(1);
+        let mut v2 = Dataset::with_dims(1);
+        for _ in 0..60 {
+            v1.push_row(&[gauss(&mut rng) * 3.0]);
+            v2.push_row(&[gauss(&mut rng) * 3.0]);
+        }
+        let mv = MultiViewDataset::new(vec![v1, v2]);
+        let mvd_union = MultiViewDbscan::new(vec![1.0, 1.0], 4, MultiViewMethod::Union);
+        let mvd_inter =
+            MultiViewDbscan::new(vec![1.0, 1.0], 4, MultiViewMethod::Intersection);
+        for o in 0..60 {
+            let n_union: std::collections::HashSet<usize> = (0..2)
+                .flat_map(|v| mvd_union.local_neighborhood(&mv, v, o))
+                .collect();
+            let n1: std::collections::HashSet<usize> =
+                mvd_inter.local_neighborhood(&mv, 0, o).into_iter().collect();
+            let n2: std::collections::HashSet<usize> =
+                mvd_inter.local_neighborhood(&mv, 1, o).into_iter().collect();
+            let inter_size = n1.intersection(&n2).count();
+            assert!(inter_size <= n_union.len());
+        }
+    }
+
+    /// Sparse views: each view alone is too sparse to form clusters, but
+    /// the union method pools the neighbourhoods (slide 106).
+    #[test]
+    fn union_method_rescues_sparse_views() {
+        let mut rng = seeded_rng(232);
+        let n_per = 30;
+        let mut v1 = Dataset::with_dims(1);
+        let mut v2 = Dataset::with_dims(1);
+        let mut labels = Vec::new();
+        for c in 0..2 {
+            let base = c as f64 * 50.0;
+            for i in 0..n_per {
+                labels.push(c);
+                // Alternate which view carries the object's information;
+                // the other view scatters it widely (sparse/missing-like).
+                if i % 2 == 0 {
+                    v1.push_row(&[base + 0.3 * gauss(&mut rng)]);
+                    v2.push_row(&[base + 30.0 * (rng.gen::<f64>() - 0.5)]);
+                } else {
+                    v1.push_row(&[base + 30.0 * (rng.gen::<f64>() - 0.5)]);
+                    v2.push_row(&[base + 0.3 * gauss(&mut rng)]);
+                }
+            }
+        }
+        let mv = MultiViewDataset::new(vec![v1, v2]);
+        let truth = Clustering::from_labels(&labels);
+        let union = MultiViewDbscan::new(vec![2.0, 2.0], 5, MultiViewMethod::Union).fit(&mv);
+        let inter =
+            MultiViewDbscan::new(vec![2.0, 2.0], 5, MultiViewMethod::Intersection).fit(&mv);
+        let ari_union = adjusted_rand_index(&union, &truth);
+        assert!(ari_union > 0.8, "union pools sparse views: {ari_union}");
+        assert!(
+            inter.num_noise() > union.num_noise(),
+            "intersection is stricter on sparse data: {} vs {}",
+            inter.num_noise(),
+            union.num_noise()
+        );
+    }
+
+    /// Unreliable views: one view contains misleading coincidences; the
+    /// intersection method requires agreement and stays pure (slide 107).
+    #[test]
+    fn intersection_method_resists_unreliable_view() {
+        let mut rng = seeded_rng(233);
+        let n_per = 25;
+        let mut v1 = Dataset::with_dims(1);
+        let mut v2 = Dataset::with_dims(1);
+        let mut labels = Vec::new();
+        for c in 0..2 {
+            for _ in 0..n_per {
+                labels.push(c);
+                // Reliable view separates the groups…
+                v1.push_row(&[c as f64 * 40.0 + 0.5 * gauss(&mut rng)]);
+                // …the unreliable view collapses everything together.
+                v2.push_row(&[0.5 * gauss(&mut rng)]);
+            }
+        }
+        let mv = MultiViewDataset::new(vec![v1, v2]);
+        let truth = Clustering::from_labels(&labels);
+        let union = MultiViewDbscan::new(vec![2.0, 2.0], 5, MultiViewMethod::Union).fit(&mv);
+        let inter =
+            MultiViewDbscan::new(vec![2.0, 2.0], 5, MultiViewMethod::Intersection).fit(&mv);
+        let ari_union = adjusted_rand_index(&union, &truth);
+        let ari_inter = adjusted_rand_index(&inter, &truth);
+        assert!(
+            ari_inter > ari_union,
+            "intersection resists the unreliable view: {ari_inter} vs {ari_union}"
+        );
+        assert!(ari_inter > 0.8, "intersection recovers the truth: {ari_inter}");
+    }
+
+    #[test]
+    fn epsilon_count_must_match_views() {
+        let v = Dataset::from_rows(&[vec![0.0], vec![1.0]]);
+        let mv = MultiViewDataset::new(vec![v.clone(), v]);
+        let mvd = MultiViewDbscan::new(vec![1.0], 1, MultiViewMethod::Union);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| mvd.fit(&mv)));
+        assert!(err.is_err());
+    }
+}

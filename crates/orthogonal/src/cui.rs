@@ -1,0 +1,328 @@
+//! Iterated orthogonal subspace projections (Cui, Fern & Dy 2007) —
+//! slides 57–60.
+//!
+//! One clustering per iteration, each in the orthogonal complement of the
+//! previous structure:
+//!
+//! 1. Cluster the current database `DB_i` (any algorithm) and collect the
+//!    cluster means `μ₁..μ_k`.
+//! 2. PCA over the means finds the *explanatory subspace*
+//!    `A = [φ₁..φ_p]` that captures the clustering structure
+//!    (`p < k`, `p < d`).
+//! 3. Project onto the orthogonal complement
+//!    `M_i = I − A(AᵀA)⁻¹Aᵀ`, `DB_{i+1} = {M_i·x}` — the main factors are
+//!    removed and previously weak structure is highlighted.
+//!
+//! The loop stops by itself when no variance is left, so the *number of
+//! clusterings is determined automatically* (slide 60) — more than two
+//! solutions fall out of one run.
+
+use multiclust_core::taxonomy::{
+    AlgorithmCard, Flexibility, GivenKnowledge, Processing, SearchSpace, Solutions,
+    SubspaceAwareness,
+};
+use multiclust_core::Clustering;
+use multiclust_data::Dataset;
+use multiclust_linalg::pca::{orthogonal_projector, Pca};
+use multiclust_linalg::Matrix;
+use rand::rngs::StdRng;
+
+use multiclust_base::Clusterer;
+
+/// Configuration of the orthogonal-projection iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct OrthogonalProjectionClustering {
+    /// Maximum number of clusterings to extract.
+    max_views: usize,
+    /// Fraction of the mean-scatter variance the explanatory subspace must
+    /// capture (slide 58: "strong principle components of the means").
+    variance_fraction: f64,
+    /// Stop when the residual total variance of the projected data falls
+    /// below this fraction of the original total variance.
+    min_residual_variance: f64,
+}
+
+/// One extracted view.
+#[derive(Clone, Debug)]
+pub struct ProjectedView {
+    /// The clustering found in this iteration's space.
+    pub clustering: Clustering,
+    /// Dimensionality of the explanatory subspace removed afterwards.
+    pub explanatory_dims: usize,
+    /// Fraction of the original total variance still present when this
+    /// view was clustered.
+    pub residual_variance: f64,
+}
+
+/// Result of the full iteration.
+#[derive(Clone, Debug)]
+pub struct OrthogonalProjectionResult {
+    /// Extracted views, in discovery order.
+    pub views: Vec<ProjectedView>,
+    /// Cumulative projection applied before each view (`views[i]` was found
+    /// on `{transforms[i]·x}`; `transforms[0]` is the identity).
+    pub transforms: Vec<Matrix>,
+}
+
+impl Default for OrthogonalProjectionClustering {
+    fn default() -> Self {
+        Self { max_views: 4, variance_fraction: 0.9, min_residual_variance: 0.05 }
+    }
+}
+
+impl OrthogonalProjectionClustering {
+    /// Default configuration (up to 4 views, 90% explanatory variance,
+    /// stop below 5% residual variance).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the maximum number of extracted views.
+    #[must_use]
+    pub fn with_max_views(mut self, max_views: usize) -> Self {
+        assert!(max_views >= 1, "at least one view");
+        self.max_views = max_views;
+        self
+    }
+
+    /// Sets the explanatory variance fraction.
+    #[must_use]
+    pub fn with_variance_fraction(mut self, fraction: f64) -> Self {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction in (0,1]");
+        self.variance_fraction = fraction;
+        self
+    }
+
+    /// Sets the residual-variance stopping threshold.
+    #[must_use]
+    pub fn with_min_residual_variance(mut self, fraction: f64) -> Self {
+        assert!((0.0..1.0).contains(&fraction), "fraction in [0,1)");
+        self.min_residual_variance = fraction;
+        self
+    }
+
+    /// Runs the iteration with the supplied (exchangeable) clusterer.
+    pub fn fit(
+        &self,
+        data: &Dataset,
+        clusterer: &dyn Clusterer,
+        rng: &mut StdRng,
+    ) -> OrthogonalProjectionResult {
+        let d = data.dims();
+        let total_variance = dataset_variance(data).max(1e-300);
+        let mut current = data.clone();
+        let mut cumulative = Matrix::identity(d);
+        let mut views = Vec::new();
+        let mut transforms = Vec::new();
+
+        for _ in 0..self.max_views {
+            let residual = dataset_variance(&current) / total_variance;
+            if residual < self.min_residual_variance {
+                break;
+            }
+            transforms.push(cumulative.clone());
+            let clustering = clusterer.cluster(&current, rng);
+
+            // Explanatory subspace: PCA on the cluster means.
+            let members = clustering.members();
+            let means: Vec<Vec<f64>> = members
+                .iter()
+                .filter(|m| !m.is_empty())
+                .map(|m| {
+                    let mut mean = vec![0.0; d];
+                    for &i in m {
+                        for (s, &x) in mean.iter_mut().zip(current.row(i)) {
+                            *s += x;
+                        }
+                    }
+                    for s in &mut mean {
+                        *s /= m.len() as f64;
+                    }
+                    mean
+                })
+                .collect();
+            if means.len() < 2 {
+                views.push(ProjectedView {
+                    clustering,
+                    explanatory_dims: 0,
+                    residual_variance: residual,
+                });
+                break; // nothing to orthogonalise against
+            }
+            let refs: Vec<&[f64]> = means.iter().map(|m| m.as_slice()).collect();
+            let pca = Pca::fit(&refs);
+            // p < k and p < d (slide 58); at least one component.
+            let p = pca
+                .components_for_variance(self.variance_fraction)
+                .clamp(1, (means.len() - 1).min(d.saturating_sub(1)).max(1));
+            views.push(ProjectedView {
+                clustering,
+                explanatory_dims: p,
+                residual_variance: residual,
+            });
+            if p >= d {
+                break; // projector would annihilate everything
+            }
+            let a = pca.components(p);
+            let projector = orthogonal_projector(&a);
+            current = current.transformed(projector.as_slice(), d);
+            cumulative = projector.matmul(&cumulative);
+        }
+
+        OrthogonalProjectionResult { views, transforms }
+    }
+
+    /// Taxonomy card (slide 116 row "(Cui et al., 2007)").
+    pub fn card() -> AlgorithmCard {
+        AlgorithmCard {
+            name: "OrthogonalProjections",
+            reference: "Cui et al. 2007",
+            space: SearchSpace::Transformed,
+            processing: Processing::Iterative,
+            knowledge: GivenKnowledge::GivenClustering,
+            solutions: Solutions::AtLeastTwo,
+            subspace: SubspaceAwareness::Dissimilarity,
+            flexibility: Flexibility::ExchangeableDefinition,
+        }
+    }
+}
+
+/// Total variance (trace of the covariance matrix) of a dataset.
+fn dataset_variance(data: &Dataset) -> f64 {
+    let mean = data.mean();
+    let n = data.len().max(1) as f64;
+    data.rows()
+        .map(|row| {
+            row.iter()
+                .zip(&mean)
+                .map(|(x, m)| (x - m) * (x - m))
+                .sum::<f64>()
+        })
+        .sum::<f64>()
+        / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiclust_core::measures::diss::adjusted_rand_index;
+    use multiclust_data::synthetic::{planted_views, ViewSpec};
+    use multiclust_data::seeded_rng;
+    use multiclust_base::KMeans;
+
+    #[test]
+    fn extracts_both_planted_views_in_sequence() {
+        let mut rng = seeded_rng(161);
+        // Two orthogonal 2-d views with very different separations, so the
+        // first clustering locks onto the dominant one.
+        let specs = [
+            ViewSpec { dims: 2, clusters: 2, separation: 30.0, noise: 0.8 },
+            ViewSpec { dims: 2, clusters: 2, separation: 10.0, noise: 0.8 },
+        ];
+        let planted = planted_views(200, &specs, 0, &mut rng);
+        let km = KMeans::new(2).with_restarts(4);
+        let res = OrthogonalProjectionClustering::new()
+            .with_max_views(3)
+            .fit(&planted.dataset, &km, &mut rng);
+        assert!(res.views.len() >= 2, "found {} views", res.views.len());
+
+        let truth0 = Clustering::from_labels(&planted.truths[0]);
+        let truth1 = Clustering::from_labels(&planted.truths[1]);
+        let ari_first = adjusted_rand_index(&res.views[0].clustering, &truth0);
+        let ari_second = adjusted_rand_index(&res.views[1].clustering, &truth1);
+        assert!(ari_first > 0.9, "dominant view first: {ari_first}");
+        assert!(ari_second > 0.9, "orthogonalised view second: {ari_second}");
+        // And the two solutions disagree with each other.
+        let cross = adjusted_rand_index(&res.views[0].clustering, &res.views[1].clustering);
+        assert!(cross < 0.2, "views are alternatives: {cross}");
+    }
+
+    #[test]
+    fn residual_variance_decreases_monotonically() {
+        let mut rng = seeded_rng(162);
+        let specs = [
+            ViewSpec { dims: 2, clusters: 3, separation: 20.0, noise: 1.0 },
+            ViewSpec { dims: 2, clusters: 2, separation: 12.0, noise: 1.0 },
+        ];
+        let planted = planted_views(150, &specs, 0, &mut rng);
+        let km = KMeans::new(3);
+        let res = OrthogonalProjectionClustering::new()
+            .with_max_views(4)
+            .fit(&planted.dataset, &km, &mut rng);
+        for w in res.views.windows(2) {
+            assert!(
+                w[1].residual_variance <= w[0].residual_variance + 1e-9,
+                "projection removes variance"
+            );
+        }
+        assert!((res.views[0].residual_variance - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stops_when_variance_exhausted() {
+        let mut rng = seeded_rng(163);
+        // One 2-d view only: after removing it, almost nothing remains.
+        let specs = [ViewSpec { dims: 2, clusters: 2, separation: 25.0, noise: 0.5 }];
+        let planted = planted_views(100, &specs, 0, &mut rng);
+        let km = KMeans::new(2);
+        let res = OrthogonalProjectionClustering::new()
+            .with_max_views(10)
+            .fit(&planted.dataset, &km, &mut rng);
+        assert!(
+            res.views.len() < 10,
+            "auto-determined view count: {}",
+            res.views.len()
+        );
+    }
+
+
+    /// The space-level check of slide 24: the explanatory subspaces removed
+    /// in successive iterations are mutually orthogonal (principal angles
+    /// = π/2), because each lives in the previous iteration's null space.
+    #[test]
+    fn successive_explanatory_spaces_are_orthogonal() {
+        use multiclust_linalg::svd::principal_angles;
+        let mut rng = seeded_rng(165);
+        let specs = [
+            ViewSpec { dims: 2, clusters: 2, separation: 30.0, noise: 0.8 },
+            ViewSpec { dims: 2, clusters: 2, separation: 12.0, noise: 0.8 },
+        ];
+        let planted = planted_views(150, &specs, 0, &mut rng);
+        let km = KMeans::new(2).with_restarts(4);
+        let res = OrthogonalProjectionClustering::new()
+            .with_max_views(3)
+            .fit(&planted.dataset, &km, &mut rng);
+        assert!(res.views.len() >= 2);
+        // Reconstruct each iteration's removed direction as the range of
+        // (cumulative_before − cumulative_after) — rank-p difference.
+        let mut removed: Vec<Matrix> = Vec::new();
+        for w in res.transforms.windows(2) {
+            let diff = &w[0] - &w[1];
+            removed.push(diff);
+        }
+        if removed.len() >= 2 {
+            let angles = principal_angles(&removed[0], &removed[1]);
+            for a in angles {
+                assert!(
+                    a > std::f64::consts::FRAC_PI_2 - 1e-6,
+                    "removed spaces are orthogonal: {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transforms_align_with_views() {
+        let mut rng = seeded_rng(164);
+        let specs = [
+            ViewSpec { dims: 2, clusters: 2, separation: 20.0, noise: 1.0 },
+            ViewSpec { dims: 2, clusters: 2, separation: 10.0, noise: 1.0 },
+        ];
+        let planted = planted_views(80, &specs, 0, &mut rng);
+        let km = KMeans::new(2);
+        let res = OrthogonalProjectionClustering::new().fit(&planted.dataset, &km, &mut rng);
+        assert_eq!(res.views.len(), res.transforms.len());
+        // First transform is the identity.
+        assert!(res.transforms[0].approx_eq(&Matrix::identity(4), 0.0));
+    }
+}

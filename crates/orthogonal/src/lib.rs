@@ -1,0 +1,29 @@
+//! Multiple clustering solutions **by orthogonal space transformations**
+//! (tutorial section 3, slides 47–62).
+//!
+//! Instead of checking dissimilarity inside the clustering process, these
+//! methods *transform the database* so that the known structure disappears
+//! and previously weak structure is highlighted; any clustering algorithm
+//! can then be applied to the transformed data (`DB₂ = {M·x | x ∈ DB}`,
+//! slide 49). Dissimilarity to the given clustering is only implicitly
+//! ensured — a property the experiments quantify.
+//!
+//! * [`metric_flip`] — learn a metric that makes the given clustering easy
+//!   to see, then **invert the stretcher** of its SVD
+//!   (Davidson & Qi 2008, slides 50–52);
+//! * [`qi_davidson`] — the constrained-optimisation transformation with
+//!   closed form `M = Σ̃^{-1/2}` (Qi & Davidson 2009, slides 54–55);
+//! * [`cui`] — iterated PCA-on-means **orthogonal projections**
+//!   `M = I − A(AᵀA)⁻¹Aᵀ`, producing a whole sequence of clusterings
+//!   (Cui et al. 2007, slides 57–60).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cui;
+pub mod metric_flip;
+pub mod qi_davidson;
+
+pub use cui::OrthogonalProjectionClustering;
+pub use metric_flip::MetricFlip;
+pub use qi_davidson::QiDavidson;

@@ -1,0 +1,202 @@
+//! Alternative clustering by inverting a learned metric's stretcher
+//! (Davidson & Qi 2008) — slides 50–52.
+//!
+//! 1. The given clustering poses instance constraints (must-link within
+//!    clusters, cannot-link across). Any metric learner may consume them;
+//!    here we learn the within-cluster whitening metric
+//!    `D = (S_w + εI)^{-1/2}` — under `D`, the given clusters become
+//!    compact and spherical, i.e. "easily observable" (slide 50).
+//! 2. SVD decomposes `D = H·S·A` — informally *rotate · stretch · rotate*.
+//! 3. The **alternative** transformation inverts the stretcher:
+//!    `M = H·S⁻¹·A`. Directions the metric stretched to reveal the given
+//!    clustering are compressed, and vice versa; clustering `{M·x}`
+//!    surfaces an alternative grouping.
+//!
+//! Slide 51's worked 2×2 example (`D = [[1.5,−1],[−1,1]]`,
+//! `M = [[2,2],[2,3]]`) is reproduced digit-for-digit in the tests of
+//! `multiclust_linalg::svd` and exercised end-to-end in experiment E6.
+
+use multiclust_core::measures::quality::centroids;
+use multiclust_core::taxonomy::{
+    AlgorithmCard, Flexibility, GivenKnowledge, Processing, SearchSpace, Solutions,
+    SubspaceAwareness,
+};
+use multiclust_core::Clustering;
+use multiclust_data::Dataset;
+use multiclust_linalg::eigen::inv_sqrtm;
+use multiclust_linalg::{Matrix, Svd};
+use rand::rngs::StdRng;
+
+use multiclust_base::Clusterer;
+
+/// Davidson & Qi's metric-flip alternative clustering.
+#[derive(Clone, Copy, Debug)]
+pub struct MetricFlip {
+    /// Ridge added to the within-cluster scatter before inversion.
+    epsilon: f64,
+    /// Floor (relative to the largest singular value) applied when
+    /// inverting the stretcher.
+    floor: f64,
+}
+
+/// Output of a metric-flip run.
+#[derive(Clone, Debug)]
+pub struct MetricFlipResult {
+    /// The alternative clustering of the transformed data.
+    pub clustering: Clustering,
+    /// The learned metric `D`.
+    pub metric: Matrix,
+    /// The stretcher-inverted transformation `M`.
+    pub transform: Matrix,
+}
+
+impl Default for MetricFlip {
+    fn default() -> Self {
+        Self { epsilon: 1e-6, floor: 1e-8 }
+    }
+}
+
+impl MetricFlip {
+    /// Creates the method with default regularisation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the scatter ridge `ε`.
+    #[must_use]
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        assert!(epsilon > 0.0, "ε must be positive");
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Learns the metric `D = (S_w + εI)^{-1/2}` from the given clustering:
+    /// the within-cluster scatter is whitened, so under `D` the given
+    /// clusters are maximally compact.
+    pub fn learn_metric(&self, data: &Dataset, given: &Clustering) -> Matrix {
+        assert_eq!(data.len(), given.len(), "data/clustering size mismatch");
+        let d = data.dims();
+        let cents = centroids(data, given);
+        let mut scatter = Matrix::zeros(d, d);
+        let mut counted = 0usize;
+        for (i, row) in data.rows().enumerate() {
+            let Some(c) = given.assignment(i) else { continue };
+            let Some(center) = &cents[c] else { continue };
+            for a in 0..d {
+                let da = row[a] - center[a];
+                for b in a..d {
+                    scatter[(a, b)] += da * (row[b] - center[b]);
+                }
+            }
+            counted += 1;
+        }
+        let n = counted.max(1) as f64;
+        for a in 0..d {
+            for b in a..d {
+                let v = scatter[(a, b)] / n;
+                scatter[(a, b)] = v;
+                scatter[(b, a)] = v;
+            }
+            scatter[(a, a)] += self.epsilon;
+        }
+        inv_sqrtm(&scatter, self.epsilon)
+    }
+
+    /// Inverts the stretcher of a learned metric: `D = H·S·A ⇒ M = H·S⁻¹·A`
+    /// (slide 51).
+    pub fn alternative_transform(&self, metric: &Matrix) -> Matrix {
+        Svd::new(metric).invert_stretcher(self.floor)
+    }
+
+    /// Full pipeline: learn `D`, flip to `M`, transform the data, and run
+    /// the supplied (exchangeable!) clusterer on `{M·x}`.
+    pub fn fit(
+        &self,
+        data: &Dataset,
+        given: &Clustering,
+        clusterer: &dyn Clusterer,
+        rng: &mut StdRng,
+    ) -> MetricFlipResult {
+        let metric = self.learn_metric(data, given);
+        let transform = self.alternative_transform(&metric);
+        let d = data.dims();
+        let transformed = data.transformed(transform.as_slice(), d);
+        let clustering = clusterer.cluster(&transformed, rng);
+        MetricFlipResult { clustering, metric, transform }
+    }
+
+    /// Taxonomy card (slide 116 row "(Davidson & Qi, 2008)").
+    pub fn card() -> AlgorithmCard {
+        AlgorithmCard {
+            name: "MetricFlip",
+            reference: "Davidson & Qi 2008",
+            space: SearchSpace::Transformed,
+            processing: Processing::Iterative,
+            knowledge: GivenKnowledge::GivenClustering,
+            solutions: Solutions::Two,
+            subspace: SubspaceAwareness::Dissimilarity,
+            flexibility: Flexibility::ExchangeableDefinition,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiclust_core::measures::diss::adjusted_rand_index;
+    use multiclust_data::synthetic::four_blob_square;
+    use multiclust_data::seeded_rng;
+    use multiclust_base::KMeans;
+
+    #[test]
+    fn metric_whitens_the_given_clustering() {
+        let mut rng = seeded_rng(141);
+        let fb = four_blob_square(25, 10.0, 0.6, &mut rng);
+        let given = Clustering::from_labels(&fb.horizontal);
+        let metric = MetricFlip::new().learn_metric(&fb.dataset, &given);
+        // Under the horizontal split, within-cluster scatter is dominated
+        // by the x-axis (both blob columns in one cluster): the metric must
+        // stretch y relative to x.
+        assert!(metric.is_symmetric(1e-9));
+        assert!(
+            metric[(1, 1)] > 2.0 * metric[(0, 0)],
+            "y stretched over x: {metric:?}"
+        );
+    }
+
+    #[test]
+    fn flip_recovers_the_orthogonal_split() {
+        let mut rng = seeded_rng(142);
+        let fb = four_blob_square(25, 10.0, 0.6, &mut rng);
+        let given = Clustering::from_labels(&fb.horizontal);
+        let vertical = Clustering::from_labels(&fb.vertical);
+        let km = KMeans::new(2).with_restarts(4);
+        let res = MetricFlip::new().fit(&fb.dataset, &given, &km, &mut rng);
+        let ari_alt = adjusted_rand_index(&res.clustering, &vertical);
+        let ari_given = adjusted_rand_index(&res.clustering, &given);
+        assert!(ari_alt > 0.9, "vertical split found: {ari_alt}");
+        assert!(ari_given < 0.1, "given split avoided: {ari_given}");
+    }
+
+    #[test]
+    fn transform_inverts_stretch_directions() {
+        let mut rng = seeded_rng(143);
+        let fb = four_blob_square(25, 10.0, 0.6, &mut rng);
+        let given = Clustering::from_labels(&fb.horizontal);
+        let mf = MetricFlip::new();
+        let metric = mf.learn_metric(&fb.dataset, &given);
+        let m = mf.alternative_transform(&metric);
+        // The metric stretched y; the flip must stretch x instead.
+        assert!(m[(0, 0)] > 2.0 * m[(1, 1)], "x stretched in the flip: {m:?}");
+    }
+
+    #[test]
+    fn noise_only_given_clustering_is_handled() {
+        let data = Dataset::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]]);
+        let given = Clustering::from_options(vec![None, None]);
+        let metric = MetricFlip::new().learn_metric(&data, &given);
+        // Scatter is empty → metric reduces to the ε-regularised identity.
+        assert!(metric.max_abs().is_finite());
+        assert!(metric.is_symmetric(1e-12));
+    }
+}

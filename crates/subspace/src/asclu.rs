@@ -1,0 +1,165 @@
+//! ASCLU — alternative subspace clustering
+//! (Günnemann, Färber, Müller & Seidl 2010) — slides 86–87.
+//!
+//! Extends OSCLU by *given knowledge*: subspaces represent views, and a
+//! result clustering `Res` must satisfy all OSCLU properties **and** be a
+//! valid alternative to the given clustering `Known` — every result
+//! cluster `C = (O, S)` must contribute at least a fraction `α` of objects
+//! that are not already clustered by `Known` clusters in `C`'s concept
+//! group (slide 87's `AlreadyClustered` definition).
+
+use multiclust_core::subspace::{same_concept_group, SubspaceCluster};
+use multiclust_core::taxonomy::{
+    AlgorithmCard, Flexibility, GivenKnowledge, Processing, SearchSpace, Solutions,
+    SubspaceAwareness,
+};
+
+use crate::osclu::{Osclu, OscluResult};
+
+/// ASCLU configuration: OSCLU thresholds shared for the alternative test.
+#[derive(Clone, Debug)]
+pub struct Asclu {
+    osclu: Osclu,
+}
+
+impl Asclu {
+    /// ASCLU with concept threshold `β` and novelty threshold `α`.
+    pub fn new(beta: f64, alpha: f64) -> Self {
+        Self { osclu: Osclu::new(beta, alpha) }
+    }
+
+    /// Access to the embedded OSCLU selection (e.g. to override the
+    /// interestingness).
+    pub fn osclu_mut(&mut self) -> &mut Osclu {
+        &mut self.osclu
+    }
+
+    /// The objects of `candidate` already clustered by `known` clusters in
+    /// its concept group (slide 87's `AlreadyClustered(Known, C)`).
+    pub fn already_clustered(
+        &self,
+        candidate: &SubspaceCluster,
+        known: &[SubspaceCluster],
+    ) -> Vec<usize> {
+        let mut covered: Vec<usize> = Vec::new();
+        for k in known {
+            if !same_concept_group(candidate, k, self.osclu.beta) {
+                continue;
+            }
+            for &o in candidate.objects() {
+                if k.contains_object(o) {
+                    covered.push(o);
+                }
+            }
+        }
+        covered.sort_unstable();
+        covered.dedup();
+        covered
+    }
+
+    /// `true` when `candidate` is a valid alternative cluster to `known`:
+    /// `|O \ AlreadyClustered| / |O| ≥ α` (slide 87).
+    pub fn is_valid_alternative(
+        &self,
+        candidate: &SubspaceCluster,
+        known: &[SubspaceCluster],
+    ) -> bool {
+        let covered = self.already_clustered(candidate, known).len();
+        let novel = candidate.size() - covered;
+        novel as f64 / candidate.size() as f64 >= self.osclu.alpha
+    }
+
+    /// Runs the selection: filters candidates to valid alternatives, then
+    /// applies the OSCLU greedy selection among them. Returned indices
+    /// refer to the **original** candidate list.
+    pub fn select(
+        &self,
+        all: &[SubspaceCluster],
+        known: &[SubspaceCluster],
+    ) -> OscluResult {
+        let valid: Vec<usize> = (0..all.len())
+            .filter(|&i| self.is_valid_alternative(&all[i], known))
+            .collect();
+        let filtered: Vec<SubspaceCluster> =
+            valid.iter().map(|&i| all[i].clone()).collect();
+        let inner = self.osclu.select_greedy(&filtered);
+        OscluResult {
+            selected: inner.selected.iter().map(|&i| valid[i]).collect(),
+            total_interestingness: inner.total_interestingness,
+        }
+    }
+
+    /// Taxonomy card (slide 116 row "(Günnemann et al., 2010)").
+    pub fn card() -> AlgorithmCard {
+        AlgorithmCard {
+            name: "ASCLU",
+            reference: "Günnemann et al. 2010",
+            space: SearchSpace::Subspaces,
+            processing: Processing::Simultaneous,
+            knowledge: GivenKnowledge::GivenClustering,
+            solutions: Solutions::AtLeastTwo,
+            subspace: SubspaceAwareness::Dissimilarity,
+            flexibility: Flexibility::Specialized,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sc(objects: &[usize], dims: &[usize]) -> SubspaceCluster {
+        SubspaceCluster::new(objects.to_vec(), dims.to_vec())
+    }
+
+    /// The slide-86 example in miniature: Known = {C2, C5} clusters in
+    /// view dims {0,1}; candidates include same-view overlaps and a
+    /// different-view clustering — a valid result avoids re-covering
+    /// Known's objects in the same concept but is free in other concepts.
+    #[test]
+    fn selects_alternative_view_clusters() {
+        let known = vec![sc(&[0, 1, 2, 3], &[0, 1]), sc(&[4, 5, 6, 7], &[0, 1])];
+        let all = vec![
+            // Same view, same objects — not a valid alternative.
+            sc(&[0, 1, 2, 3], &[0, 1]),
+            // Same view, new objects — valid.
+            sc(&[8, 9, 10, 11], &[0, 1]),
+            // Different view (disjoint dims), same objects — valid:
+            // Known clusters are outside its concept group.
+            sc(&[0, 1, 2, 3, 4, 5], &[2, 3]),
+        ];
+        let asclu = Asclu::new(0.75, 0.75);
+        let res = asclu.select(&all, &known);
+        let mut sel = res.selected.clone();
+        sel.sort_unstable();
+        assert_eq!(sel, vec![1, 2]);
+    }
+
+    #[test]
+    fn already_clustered_respects_concept_groups() {
+        let asclu = Asclu::new(0.75, 0.5);
+        let known = vec![sc(&[0, 1, 2], &[0, 1])];
+        let same_view = sc(&[1, 2, 3], &[0, 1]);
+        assert_eq!(asclu.already_clustered(&same_view, &known), vec![1, 2]);
+        let other_view = sc(&[1, 2, 3], &[4, 5]);
+        assert!(asclu.already_clustered(&other_view, &known).is_empty());
+    }
+
+    #[test]
+    fn alpha_one_requires_fully_novel_objects() {
+        let asclu = Asclu::new(1.0, 1.0);
+        let known = vec![sc(&[0], &[0])];
+        assert!(!asclu.is_valid_alternative(&sc(&[0, 1], &[0]), &known));
+        assert!(asclu.is_valid_alternative(&sc(&[1, 2], &[0]), &known));
+    }
+
+    #[test]
+    fn result_is_also_orthogonal_within_itself() {
+        // Two identical candidates, both valid alternatives to empty
+        // knowledge — the OSCLU stage must still drop the duplicate.
+        let known: Vec<SubspaceCluster> = Vec::new();
+        let all = vec![sc(&[0, 1, 2], &[0]), sc(&[0, 1, 2], &[0])];
+        let res = Asclu::new(1.0, 0.5).select(&all, &known);
+        assert_eq!(res.selected.len(), 1);
+    }
+}

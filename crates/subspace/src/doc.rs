@@ -1,0 +1,243 @@
+//! DOC / MineClus — Monte-Carlo projected clustering
+//! (Procopiuc, Jones, Agarwal & Murali 2002; Yiu & Mamoulis 2003) —
+//! slides 66 and 72 ("DOC: monte carlo processing", "enhanced quality by
+//! flexible positioning of cells").
+//!
+//! Grid methods anchor cells to a fixed lattice; DOC positions the box
+//! *around a sampled seed point*: draw a seed `p` and a small
+//! discriminating set `X`, keep the dimensions where every `x ∈ X` lies
+//! within `w` of `p`, and collect all objects inside the resulting
+//! hyper-box. Candidates are scored by `μ(|C|, |D|) = |C| · (1/β)^{|D|}`,
+//! which trades cluster size against subspace dimensionality; the best of
+//! many trials wins. The MineClus-style driver extracts `k` clusters by
+//! repeated best-cluster removal.
+
+use multiclust_core::subspace::{SubspaceCluster, SubspaceClustering};
+use multiclust_core::Clustering;
+use multiclust_data::Dataset;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// DOC configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Doc {
+    /// Half-width of the hyper-box per relevant dimension.
+    pub w: f64,
+    /// Minimum cluster size as a fraction of the (remaining) objects.
+    pub alpha: f64,
+    /// Dimensionality/size trade-off in `μ(a, b) = a · (1/β)^b`
+    /// (`β ∈ (0,1)`: smaller β rewards higher-dimensional boxes more).
+    pub beta: f64,
+    /// Outer Monte-Carlo trials per extracted cluster.
+    pub trials: usize,
+    /// Size of the sampled discriminating set.
+    pub discriminators: usize,
+}
+
+impl Doc {
+    /// DOC with box half-width `w`, density `α`, trade-off `β`.
+    ///
+    /// # Panics
+    /// Panics unless `w > 0`, `α ∈ (0, 1]`, `β ∈ (0, 1)`.
+    pub fn new(w: f64, alpha: f64, beta: f64) -> Self {
+        assert!(w > 0.0, "w must be positive");
+        assert!(alpha > 0.0 && alpha <= 1.0, "α must lie in (0, 1]");
+        assert!(beta > 0.0 && beta < 1.0, "β must lie in (0, 1)");
+        Self { w, alpha, beta, trials: 256, discriminators: 3 }
+    }
+
+    /// Sets the Monte-Carlo trial count.
+    #[must_use]
+    pub fn with_trials(mut self, trials: usize) -> Self {
+        assert!(trials >= 1);
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the discriminating-set size.
+    #[must_use]
+    pub fn with_discriminators(mut self, r: usize) -> Self {
+        assert!(r >= 1);
+        self.discriminators = r;
+        self
+    }
+
+    /// The DOC quality `μ(|C|, |D|)`.
+    pub fn quality(&self, cluster_size: usize, dims: usize) -> f64 {
+        cluster_size as f64 * (1.0 / self.beta).powi(dims as i32)
+    }
+
+    /// One Monte-Carlo search for the best projected cluster among the
+    /// objects listed in `available` (global indices).
+    pub fn find_one(
+        &self,
+        data: &Dataset,
+        available: &[usize],
+        rng: &mut StdRng,
+    ) -> Option<SubspaceCluster> {
+        if available.is_empty() {
+            return None;
+        }
+        let d = data.dims();
+        let min_size = ((self.alpha * available.len() as f64).ceil() as usize).max(1);
+        let mut best: Option<(f64, SubspaceCluster)> = None;
+        for _ in 0..self.trials {
+            let seed = available[rng.gen_range(0..available.len())];
+            let p = data.row(seed);
+            // Discriminating set (with replacement is fine for small r).
+            let disc: Vec<usize> = (0..self.discriminators)
+                .map(|_| available[rng.gen_range(0..available.len())])
+                .collect();
+            let dims: Vec<usize> = (0..d)
+                .filter(|&j| {
+                    disc.iter().all(|&x| (data.row(x)[j] - p[j]).abs() <= self.w)
+                })
+                .collect();
+            if dims.is_empty() {
+                continue;
+            }
+            let members: Vec<usize> = available
+                .iter()
+                .copied()
+                .filter(|&q| {
+                    dims.iter().all(|&j| (data.row(q)[j] - p[j]).abs() <= self.w)
+                })
+                .collect();
+            if members.len() < min_size {
+                continue;
+            }
+            let score = self.quality(members.len(), dims.len());
+            if best.as_ref().is_none_or(|(b, _)| score > *b) {
+                best = Some((score, SubspaceCluster::new(members, dims)));
+            }
+        }
+        best.map(|(_, c)| c)
+    }
+
+    /// MineClus-style iterative extraction of up to `k` clusters: find the
+    /// best cluster, remove its objects, repeat. Returns the clusters and
+    /// the induced disjoint partition (leftover objects are noise).
+    pub fn fit(
+        &self,
+        data: &Dataset,
+        k: usize,
+        rng: &mut StdRng,
+    ) -> (SubspaceClustering, Clustering) {
+        assert!(k >= 1, "k must be at least 1");
+        let mut available: Vec<usize> = (0..data.len()).collect();
+        let mut clusters: SubspaceClustering = Vec::new();
+        let mut assignment: Vec<Option<usize>> = vec![None; data.len()];
+        for cluster_id in 0..k {
+            let Some(found) = self.find_one(data, &available, rng) else { break };
+            for &o in found.objects() {
+                assignment[o] = Some(cluster_id);
+            }
+            let member_set: std::collections::HashSet<usize> =
+                found.objects().iter().copied().collect();
+            available.retain(|o| !member_set.contains(o));
+            clusters.push(found);
+            if available.is_empty() {
+                break;
+            }
+        }
+        // Keep RNG usage balanced for determinism tests.
+        let _ = rng.gen::<u32>();
+        (clusters, Clustering::from_options(assignment))
+    }
+}
+
+impl Doc {
+    /// Taxonomy card (slide 66's Monte-Carlo projected clustering).
+    pub fn card() -> multiclust_core::taxonomy::AlgorithmCard {
+        use multiclust_core::taxonomy::*;
+        AlgorithmCard {
+            name: "DOC",
+            reference: "Procopiuc et al. 2002",
+            space: SearchSpace::Subspaces,
+            processing: Processing::Simultaneous,
+            knowledge: GivenKnowledge::None,
+            solutions: Solutions::One,
+            subspace: SubspaceAwareness::NoDissimilarity,
+            flexibility: Flexibility::Specialized,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiclust_core::measures::diss::adjusted_rand_index;
+    use multiclust_data::synthetic::{planted_views, uniform, ViewSpec};
+    use multiclust_data::seeded_rng;
+
+    fn planted(seed: u64) -> (Dataset, Vec<usize>) {
+        let mut rng = seeded_rng(seed);
+        let spec = ViewSpec { dims: 3, clusters: 2, separation: 12.0, noise: 0.5 };
+        let p = planted_views(160, &[spec], 2, &mut rng);
+        (p.dataset, p.truths[0].clone())
+    }
+
+    #[test]
+    fn finds_planted_box_with_its_dimensions() {
+        let (data, _) = planted(271);
+        let mut rng = seeded_rng(272);
+        let all: Vec<usize> = (0..data.len()).collect();
+        let c = Doc::new(2.5, 0.2, 0.25)
+            .find_one(&data, &all, &mut rng)
+            .expect("a planted cluster exists");
+        // The relevant dims are among the planted ones {0,1,2} — noise
+        // dims (uniform over ±10) rarely survive the discriminator test.
+        assert!(
+            c.dims().iter().all(|&d| d < 3),
+            "relevant dims from the planted subspace: {:?}",
+            c.dims()
+        );
+        assert!(c.size() >= 50, "found a substantial cluster: {}", c.size());
+    }
+
+    #[test]
+    fn mineclus_driver_recovers_the_partition() {
+        let (data, truth) = planted(273);
+        let truth_c = Clustering::from_labels(&truth);
+        let mut best = f64::NEG_INFINITY;
+        for s in 0..3 {
+            let mut rng = seeded_rng(274 + s);
+            let (_, partition) = Doc::new(2.5, 0.2, 0.25).fit(&data, 2, &mut rng);
+            best = best.max(adjusted_rand_index(&partition, &truth_c));
+        }
+        assert!(best > 0.85, "partition recovered: {best}");
+    }
+
+    #[test]
+    fn quality_prefers_higher_dimensional_boxes() {
+        let doc = Doc::new(1.0, 0.1, 0.25);
+        // Halving the size is worth it if one more dimension is gained
+        // (1/β = 4 > 2).
+        assert!(doc.quality(50, 3) > doc.quality(100, 2));
+        assert!(doc.quality(100, 2) > doc.quality(100, 1));
+    }
+
+    #[test]
+    fn uniform_noise_yields_low_dimensional_boxes_only() {
+        let mut rng = seeded_rng(275);
+        let data = uniform(150, 6, -10.0, 10.0, &mut rng);
+        let all: Vec<usize> = (0..data.len()).collect();
+        if let Some(c) = Doc::new(1.0, 0.05, 0.25).find_one(&data, &all, &mut rng) {
+            assert!(
+                c.dimensionality() <= 2,
+                "no deep boxes in uniform noise: {:?}",
+                c.dims()
+            );
+        }
+    }
+
+    #[test]
+    fn extraction_is_disjoint() {
+        let (data, _) = planted(276);
+        let mut rng = seeded_rng(277);
+        let (clusters, partition) = Doc::new(2.5, 0.15, 0.25).fit(&data, 3, &mut rng);
+        let total: usize = clusters.iter().map(SubspaceCluster::size).sum();
+        let assigned = partition.len() - partition.num_noise();
+        assert_eq!(total, assigned, "each object in at most one cluster");
+    }
+}

@@ -1,0 +1,246 @@
+//! The fixed-grid substrate for grid-based subspace methods
+//! (CLIQUE, SCHISM, ENCLUS).
+//!
+//! The data space is divided into `ξ` equal-length intervals per dimension
+//! (slide 69); a *unit* (cell) in subspace `S` is one interval combination
+//! over `S`'s dimensions. Data is expected min-max normalised to `[0, 1]`
+//! (see [`multiclust_data::Dataset::min_max_normalized`]); values at the
+//! upper boundary fall into the last interval.
+
+use std::collections::HashMap;
+
+use multiclust_data::Dataset;
+
+/// Interval coordinates of a cell within a subspace (one entry per
+/// subspace dimension, in the subspace's dimension order).
+pub type CellCoords = Vec<u32>;
+
+/// A populated grid over one subspace: cell coordinates → member objects.
+#[derive(Clone, Debug)]
+pub struct SubspaceGrid {
+    /// The subspace dimensions this grid covers (sorted).
+    pub dims: Vec<usize>,
+    /// Intervals per dimension.
+    pub xi: u32,
+    /// Objects per populated cell.
+    pub cells: HashMap<CellCoords, Vec<usize>>,
+}
+
+/// Interval index of value `x ∈ [0,1]` under `ξ` intervals.
+#[inline]
+pub fn interval_of(x: f64, xi: u32) -> u32 {
+    debug_assert!((-1e-9..=1.0 + 1e-9).contains(&x), "value {x} outside [0,1]");
+    let idx = (x * f64::from(xi)).floor() as i64;
+    idx.clamp(0, i64::from(xi) - 1) as u32
+}
+
+impl SubspaceGrid {
+    /// Builds the populated grid of `data` restricted to `dims`.
+    ///
+    /// # Panics
+    /// Panics if `dims` is empty, unsorted/duplicated, out of range, or
+    /// `xi == 0`.
+    pub fn build(data: &Dataset, dims: &[usize], xi: u32) -> Self {
+        assert!(xi >= 1, "need at least one interval");
+        assert!(!dims.is_empty(), "subspace must have at least one dimension");
+        assert!(dims.windows(2).all(|w| w[0] < w[1]), "dims must be sorted unique");
+        assert!(dims.iter().all(|&d| d < data.dims()), "dimension out of range");
+        let mut cells: HashMap<CellCoords, Vec<usize>> = HashMap::new();
+        let mut coords = vec![0u32; dims.len()];
+        for (i, row) in data.rows().enumerate() {
+            for (c, &d) in coords.iter_mut().zip(dims) {
+                *c = interval_of(row[d], xi);
+            }
+            cells.entry(coords.clone()).or_default().push(i);
+        }
+        Self { dims: dims.to_vec(), xi, cells }
+    }
+
+    /// Number of populated cells.
+    pub fn populated_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Cells holding at least `min_count` objects — the *dense units* of
+    /// CLIQUE for `min_count = ⌈τ·n⌉`.
+    pub fn dense_cells(&self, min_count: usize) -> Vec<(&CellCoords, &Vec<usize>)> {
+        let mut v: Vec<_> = self
+            .cells
+            .iter()
+            .filter(|(_, objs)| objs.len() >= min_count)
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(b.0));
+        v
+    }
+
+    /// Shannon entropy (nats) of the cell-occupancy distribution — the
+    /// ENCLUS subspace criterion (slide 89): low entropy ⇒ mass concentrated
+    /// in few cells ⇒ interesting subspace.
+    pub fn entropy(&self, n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        self.cells
+            .values()
+            .map(|objs| {
+                let p = objs.len() as f64 / n as f64;
+                -p * p.ln()
+            })
+            .sum()
+    }
+
+    /// Miller–Madow bias-corrected entropy estimate:
+    /// `H_MM = H_plugin + (K − 1)/(2n)` with `K` the number of populated
+    /// cells. The plug-in estimator underestimates entropy by ≈ `(K−1)/2n`
+    /// on sparse grids, which would manufacture spurious "total
+    /// correlation" in high-dimensional subspaces — exactly where ENCLUS
+    /// compares entropies across dimensionalities.
+    pub fn entropy_corrected(&self, n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        self.entropy(n) + (self.populated_cells().saturating_sub(1)) as f64 / (2.0 * n as f64)
+    }
+
+    /// Groups dense cells into connected components (cells adjacent iff
+    /// they differ by exactly one interval in exactly one dimension) and
+    /// returns each component's member objects — the CLIQUE cluster
+    /// formation step.
+    pub fn connected_dense_regions(&self, min_count: usize) -> Vec<Vec<usize>> {
+        let dense = self.dense_cells(min_count);
+        let index: HashMap<&CellCoords, usize> =
+            dense.iter().enumerate().map(|(i, (c, _))| (*c, i)).collect();
+        let mut visited = vec![false; dense.len()];
+        let mut out = Vec::new();
+        for start in 0..dense.len() {
+            if visited[start] {
+                continue;
+            }
+            let mut stack = vec![start];
+            visited[start] = true;
+            let mut members: Vec<usize> = Vec::new();
+            while let Some(u) = stack.pop() {
+                members.extend_from_slice(dense[u].1);
+                // Probe neighbours: ±1 in each coordinate.
+                let coords = dense[u].0;
+                let mut probe = coords.clone();
+                for (axis, &c) in coords.iter().enumerate() {
+                    for delta in [-1i64, 1] {
+                        let nc = i64::from(c) + delta;
+                        if nc < 0 || nc >= i64::from(self.xi) {
+                            continue;
+                        }
+                        probe[axis] = nc as u32;
+                        if let Some(&v) = index.get(&probe) {
+                            if !visited[v] {
+                                visited[v] = true;
+                                stack.push(v);
+                            }
+                        }
+                    }
+                    probe[axis] = c;
+                }
+            }
+            members.sort_unstable();
+            out.push(members);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square_data() -> Dataset {
+        // Nine points in [0,1]²: a 5-point block in the low corner, 3 in
+        // the high corner, one stray.
+        Dataset::from_rows(&[
+            vec![0.05, 0.05],
+            vec![0.10, 0.08],
+            vec![0.08, 0.12],
+            vec![0.12, 0.10],
+            vec![0.11, 0.11],
+            vec![0.90, 0.92],
+            vec![0.95, 0.95],
+            vec![0.92, 0.90],
+            vec![0.50, 0.95],
+        ])
+    }
+
+    #[test]
+    fn interval_of_boundaries() {
+        assert_eq!(interval_of(0.0, 10), 0);
+        assert_eq!(interval_of(0.999, 10), 9);
+        assert_eq!(interval_of(1.0, 10), 9, "upper boundary folds into last interval");
+        assert_eq!(interval_of(0.25, 4), 1);
+    }
+
+    #[test]
+    fn grid_counts_objects() {
+        let data = unit_square_data();
+        let g = SubspaceGrid::build(&data, &[0, 1], 5);
+        let total: usize = g.cells.values().map(Vec::len).sum();
+        assert_eq!(total, 9, "every object lands in exactly one cell");
+        // Low-corner cell [0,0] holds the 5-point block.
+        assert_eq!(g.cells[&vec![0, 0]].len(), 5);
+    }
+
+    #[test]
+    fn dense_cells_thresholding() {
+        let data = unit_square_data();
+        let g = SubspaceGrid::build(&data, &[0, 1], 5);
+        assert_eq!(g.dense_cells(3).len(), 2);
+        assert_eq!(g.dense_cells(4).len(), 1);
+        assert_eq!(g.dense_cells(100).len(), 0);
+    }
+
+    #[test]
+    fn one_dimensional_grid() {
+        let data = unit_square_data();
+        let g = SubspaceGrid::build(&data, &[1], 2);
+        // dim 1 split at 0.5: 5 below, 4 above.
+        assert_eq!(g.cells[&vec![0]].len(), 5);
+        assert_eq!(g.cells[&vec![1]].len(), 4);
+    }
+
+    #[test]
+    fn entropy_concentrated_vs_uniform() {
+        // All mass in one cell → entropy 0.
+        let tight = Dataset::from_rows(&[vec![0.1], vec![0.12], vec![0.11]]);
+        let g = SubspaceGrid::build(&tight, &[0], 4);
+        assert!(g.entropy(3) < 1e-12);
+        // Perfectly spread mass → entropy ln(cells).
+        let spread = Dataset::from_rows(&[vec![0.1], vec![0.35], vec![0.6], vec![0.85]]);
+        let g = SubspaceGrid::build(&spread, &[0], 4);
+        assert!((g.entropy(4) - 4.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn connected_regions_merge_adjacent_cells() {
+        // A dense strip across two adjacent cells plus an isolated block.
+        let data = Dataset::from_rows(&[
+            vec![0.05],
+            vec![0.08],
+            vec![0.12],
+            vec![0.30], // second interval at ξ=5 (0.2..0.4)
+            vec![0.32],
+            vec![0.35],
+            vec![0.90],
+            vec![0.92],
+            vec![0.95],
+        ]);
+        let g = SubspaceGrid::build(&data, &[0], 5);
+        let regions = g.connected_dense_regions(3);
+        assert_eq!(regions.len(), 2, "strip merges, far block separate");
+        let strip = regions.iter().find(|r| r.contains(&0)).unwrap();
+        assert_eq!(strip.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted unique")]
+    fn unsorted_dims_rejected() {
+        let data = unit_square_data();
+        let _ = SubspaceGrid::build(&data, &[1, 0], 5);
+    }
+}

@@ -1,0 +1,53 @@
+//! Multiple clustering solutions **by different subspace projections**
+//! (tutorial section 4, slides 63–92).
+//!
+//! Clusters are detected in axis-parallel projections of the original
+//! attributes — each cluster is an `(O, S)` pair, and different subspaces
+//! are different *views*, so one object legitimately appears in several
+//! clusters. The crate covers the section's full arc:
+//!
+//! * the **grid/lattice substrate** with apriori monotonicity pruning
+//!   ([`grid`], [`lattice`]; slides 69–71);
+//! * **subspace clustering**: [`clique`] (Agrawal et al. 1998), [`schism`]
+//!   with its Chernoff–Hoeffding adaptive threshold (Sequeira & Zaki 2004,
+//!   slide 73), density-based [`subclu`] (Kailing et al. 2004b, slide 74);
+//! * **projected clustering** as the disjoint-partition contrast:
+//!   [`proclus`] (Aggarwal et al. 1999, slide 66) and Monte-Carlo
+//!   flexible-box mining [`doc`] (Procopiuc et al. 2002, slide 72);
+//! * **subspace search**: [`enclus`] entropy ranking (Cheng et al. 1999)
+//!   and [`ris`] density ranking (Kailing et al. 2003) — both slide 88 —
+//!   plus [`msc`]-style HSIC-penalised independent spectral views
+//!   (Niu & Dy 2010, slide 90);
+//! * **result selection for multiple views**: redundancy elimination
+//!   ([`redundancy`]: RESCU- and STATPC-style, slides 77–79), orthogonal
+//!   concepts [`osclu`] (Günnemann et al. 2009, slides 80–85, including an
+//!   exact small-instance solver for the NP-hard selection), and
+//!   alternative-to-given selection [`asclu`] (Günnemann et al. 2010,
+//!   slides 86–87).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asclu;
+pub mod clique;
+pub mod doc;
+pub mod enclus;
+pub mod grid;
+pub mod lattice;
+pub mod msc;
+pub mod osclu;
+pub mod proclus;
+pub mod redundancy;
+pub mod ris;
+pub mod schism;
+pub mod subclu;
+
+pub use clique::Clique;
+pub use doc::Doc;
+pub use msc::Msc;
+pub use enclus::Enclus;
+pub use osclu::Osclu;
+pub use proclus::Proclus;
+pub use ris::Ris;
+pub use schism::Schism;
+pub use subclu::Subclu;

@@ -1,0 +1,257 @@
+//! OSCLU — orthogonal concepts in subspace projections
+//! (Günnemann, Müller, Färber & Seidl 2009) — slides 80–85.
+//!
+//! Given the set `All` of valid subspace clusters, select a clustering
+//! `Opt ⊆ All` that (1) avoids similar concepts — clusters whose subspaces
+//! cover each other under `coveredSubspaces_β` form one *concept group* and
+//! compete — and (2) maximises the summed local interestingness, subject to
+//! the orthogonality constraint that every selected cluster contributes at
+//! least a fraction `α` of objects not already clustered *within its
+//! concept group* (slides 82–84).
+//!
+//! Computing the optimum is **NP-hard** (slide 85 reduces SetPacking to
+//! it), so the crate ships both the greedy approximation used in practice
+//! and an exact exponential solver for small candidate sets — experiment
+//! E13 measures the approximation gap.
+
+use multiclust_core::subspace::{same_concept_group, SubspaceCluster};
+use multiclust_core::taxonomy::{
+    AlgorithmCard, Flexibility, GivenKnowledge, Processing, SearchSpace, Solutions,
+    SubspaceAwareness,
+};
+
+/// Local interestingness of one cluster (slide 84: "dependent on
+/// application, flexibility — size, dimensionality, …").
+pub type Interestingness = fn(&SubspaceCluster) -> f64;
+
+/// The default local interestingness: `|O| · |S|` (bigger clusters in
+/// higher-dimensional views are more informative).
+pub fn size_times_dims(c: &SubspaceCluster) -> f64 {
+    (c.size() * c.dimensionality()) as f64
+}
+
+/// OSCLU selection configuration.
+#[derive(Clone, Debug)]
+pub struct Osclu {
+    /// Concept-group similarity threshold `β ∈ (0, 1]` (slide 82).
+    pub beta: f64,
+    /// Minimum novel-object fraction `α ∈ (0, 1]` (slide 83).
+    pub alpha: f64,
+    /// Local interestingness function.
+    pub interestingness: Interestingness,
+}
+
+/// Result of an OSCLU selection.
+#[derive(Clone, Debug)]
+pub struct OscluResult {
+    /// Indices into the candidate set, in selection order.
+    pub selected: Vec<usize>,
+    /// Total local interestingness of the selection.
+    pub total_interestingness: f64,
+}
+
+impl Osclu {
+    /// OSCLU with thresholds `β` and `α` and the default interestingness.
+    pub fn new(beta: f64, alpha: f64) -> Self {
+        assert!(beta > 0.0 && beta <= 1.0, "β must lie in (0, 1]");
+        assert!(alpha > 0.0 && alpha <= 1.0, "α must lie in (0, 1]");
+        Self { beta, alpha, interestingness: size_times_dims }
+    }
+
+    /// Overrides the local interestingness.
+    #[must_use]
+    pub fn with_interestingness(mut self, f: Interestingness) -> Self {
+        self.interestingness = f;
+        self
+    }
+
+    /// Global interestingness of candidate `c` against a selection `m`
+    /// (slide 83): the fraction of `c`'s objects not contained in any
+    /// selected cluster of `c`'s concept group.
+    pub fn global_interestingness(
+        &self,
+        all: &[SubspaceCluster],
+        c: usize,
+        m: &[usize],
+    ) -> f64 {
+        let cand = &all[c];
+        let mut covered = vec![false; cand.size()];
+        for &s in m {
+            if s == c {
+                continue;
+            }
+            if !same_concept_group(cand, &all[s], self.beta) {
+                continue;
+            }
+            for (slot, &o) in covered.iter_mut().zip(cand.objects()) {
+                if !*slot && all[s].contains_object(o) {
+                    *slot = true;
+                }
+            }
+        }
+        let novel = covered.iter().filter(|&&v| !v).count();
+        novel as f64 / cand.size() as f64
+    }
+
+    /// `true` when the selection is a valid orthogonal clustering
+    /// (slide 83: `∀C ∈ M: I_global(C, M\{C}) ≥ α`).
+    pub fn is_valid(&self, all: &[SubspaceCluster], m: &[usize]) -> bool {
+        m.iter()
+            .all(|&c| self.global_interestingness(all, c, m) >= self.alpha)
+    }
+
+    /// Greedy approximation: candidates in descending local
+    /// interestingness; accept a candidate iff the selection stays valid.
+    pub fn select_greedy(&self, all: &[SubspaceCluster]) -> OscluResult {
+        let mut order: Vec<usize> = (0..all.len()).collect();
+        order.sort_by(|&a, &b| {
+            (self.interestingness)(&all[b])
+                .partial_cmp(&(self.interestingness)(&all[a]))
+                .unwrap()
+        });
+        let mut selected: Vec<usize> = Vec::new();
+        for c in order {
+            selected.push(c);
+            if !self.is_valid(all, &selected) {
+                selected.pop();
+            }
+        }
+        let total = selected.iter().map(|&c| (self.interestingness)(&all[c])).sum();
+        OscluResult { selected, total_interestingness: total }
+    }
+
+    /// Exact solver by subset enumeration — exponential, guarded to at
+    /// most 20 candidates. Used to quantify the greedy gap (NP-hardness,
+    /// slide 85).
+    ///
+    /// # Panics
+    /// Panics when `all.len() > 20`.
+    pub fn select_exact(&self, all: &[SubspaceCluster]) -> OscluResult {
+        assert!(
+            all.len() <= 20,
+            "exact OSCLU enumerates 2^|All| subsets; limit is 20 candidates"
+        );
+        let n = all.len();
+        let mut best: (Vec<usize>, f64) = (Vec::new(), 0.0);
+        for mask in 0u32..(1u32 << n) {
+            let m: Vec<usize> = (0..n).filter(|&i| mask & (1 << i) != 0).collect();
+            if !self.is_valid(all, &m) {
+                continue;
+            }
+            let total: f64 = m.iter().map(|&c| (self.interestingness)(&all[c])).sum();
+            if total > best.1 {
+                best = (m, total);
+            }
+        }
+        OscluResult { selected: best.0, total_interestingness: best.1 }
+    }
+
+    /// Taxonomy card (slide 116 row "(Günnemann et al., 2009)").
+    pub fn card() -> AlgorithmCard {
+        AlgorithmCard {
+            name: "OSCLU",
+            reference: "Günnemann et al. 2009",
+            space: SearchSpace::Subspaces,
+            processing: Processing::Simultaneous,
+            knowledge: GivenKnowledge::None,
+            solutions: Solutions::AtLeastTwo,
+            subspace: SubspaceAwareness::Dissimilarity,
+            flexibility: Flexibility::Specialized,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sc(objects: &[usize], dims: &[usize]) -> SubspaceCluster {
+        SubspaceCluster::new(objects.to_vec(), dims.to_vec())
+    }
+
+    /// Slide 85's reduction: sets over one dimension with α = 1 and unit
+    /// interestingness = maximum SetPacking.
+    #[test]
+    fn reduces_to_set_packing() {
+        fn unit(_: &SubspaceCluster) -> f64 {
+            1.0
+        }
+        // Sets: {0,1}, {1,2}, {2,3}, {4}. Max packing: {0,1},{2,3},{4}.
+        let all = vec![
+            sc(&[0, 1], &[0]),
+            sc(&[1, 2], &[0]),
+            sc(&[2, 3], &[0]),
+            sc(&[4], &[0]),
+        ];
+        let osclu = Osclu::new(1.0, 1.0).with_interestingness(unit);
+        let exact = osclu.select_exact(&all);
+        assert_eq!(exact.total_interestingness, 3.0);
+        let mut sel = exact.selected.clone();
+        sel.sort_unstable();
+        assert_eq!(sel, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn different_concepts_may_share_objects() {
+        // The same objects clustered in two orthogonal subspaces: both are
+        // kept because they are in different concept groups (slide 80).
+        let all = vec![sc(&[0, 1, 2, 3], &[0, 1]), sc(&[0, 1, 2, 3], &[2, 3])];
+        let osclu = Osclu::new(0.75, 0.5);
+        let res = osclu.select_greedy(&all);
+        assert_eq!(res.selected.len(), 2, "orthogonal concepts both selected");
+    }
+
+    #[test]
+    fn similar_concepts_with_same_objects_are_redundant() {
+        // Same objects in nearly identical subspaces: only one survives.
+        let all = vec![
+            sc(&[0, 1, 2, 3], &[0, 1, 2, 3]),
+            sc(&[0, 1, 2, 3], &[0, 1, 2]),
+        ];
+        let osclu = Osclu::new(0.75, 0.5);
+        let res = osclu.select_greedy(&all);
+        assert_eq!(res.selected.len(), 1, "redundant projection dropped");
+        assert_eq!(res.selected[0], 0, "higher interestingness wins");
+    }
+
+    #[test]
+    fn alpha_controls_allowed_overlap() {
+        // Two clusters in one concept group sharing half their objects.
+        let all = vec![sc(&[0, 1, 2, 3], &[0]), sc(&[2, 3, 4, 5], &[0])];
+        // α = 0.5: the second contributes 2/4 novel objects — accepted.
+        let permissive = Osclu::new(1.0, 0.5).select_greedy(&all);
+        assert_eq!(permissive.selected.len(), 2);
+        // α = 0.75: 0.5 novel < 0.75 — rejected.
+        let strict = Osclu::new(1.0, 0.75).select_greedy(&all);
+        assert_eq!(strict.selected.len(), 1);
+    }
+
+    #[test]
+    fn greedy_never_beats_exact() {
+        // A trap instance: greedy takes the big middle set first and
+        // blocks the two disjoint side sets.
+        fn unit(_: &SubspaceCluster) -> f64 {
+            1.0
+        }
+        let all = vec![
+            sc(&[0, 1, 2, 3, 4, 5], &[0]),
+            sc(&[0, 1, 2], &[0]),
+            sc(&[3, 4, 5], &[0]),
+        ];
+        let osclu = Osclu::new(1.0, 1.0).with_interestingness(unit);
+        let greedy = osclu.select_greedy(&all);
+        let exact = osclu.select_exact(&all);
+        assert!(greedy.total_interestingness <= exact.total_interestingness);
+        assert_eq!(exact.total_interestingness, 2.0, "exact picks the two sides");
+        assert_eq!(greedy.total_interestingness, 1.0, "greedy falls into the trap");
+    }
+
+    #[test]
+    fn validity_checker_matches_definition() {
+        let all = vec![sc(&[0, 1], &[0]), sc(&[0, 1], &[0])];
+        let osclu = Osclu::new(1.0, 0.5);
+        assert!(osclu.is_valid(&all, &[0]));
+        assert!(!osclu.is_valid(&all, &[0, 1]), "duplicates add no novel objects");
+        assert!(osclu.is_valid(&all, &[]), "empty selection trivially valid");
+    }
+}

@@ -1,0 +1,231 @@
+//! Redundancy elimination for subspace clustering results
+//! (slides 76–79).
+//!
+//! A hidden subspace cluster reappears in exponentially many projections
+//! (slide 77): redundant results bury the interesting ones and dominate
+//! the runtime. Two selection schemes from the survey:
+//!
+//! * [`rescu_select`] — RESCU-style relevance model (Müller et al. 2009c):
+//!   greedily admit the most interesting cluster whose objects are not
+//!   already mostly covered. Deliberately object-based only — slide 79
+//!   notes it "does not include similarity of subspaces" (that is OSCLU's
+//!   refinement).
+//! * [`statpc_select`] — STATPC-style statistical explanation test
+//!   (Moise & Sander 2008): a candidate is *explained* by the current
+//!   result when its observed number of not-yet-covered objects is no
+//!   larger than expected under an independence null model (slide 78);
+//!   only unexplained clusters enter the result.
+
+use multiclust_core::subspace::SubspaceCluster;
+
+use crate::osclu::Interestingness;
+
+/// Greedy relevance selection (RESCU-style). Admits candidates in
+/// descending interestingness; a candidate is redundant when at least
+/// `redundancy_threshold` of its objects are already covered by the
+/// selection. Returns indices into `all` in selection order.
+pub fn rescu_select(
+    all: &[SubspaceCluster],
+    interestingness: Interestingness,
+    redundancy_threshold: f64,
+) -> Vec<usize> {
+    assert!(
+        (0.0..=1.0).contains(&redundancy_threshold),
+        "threshold must lie in [0, 1]"
+    );
+    let max_object = all
+        .iter()
+        .flat_map(|c| c.objects().last().copied())
+        .max()
+        .map_or(0, |m| m + 1);
+    let mut covered = vec![false; max_object];
+    let mut order: Vec<usize> = (0..all.len()).collect();
+    order.sort_by(|&a, &b| {
+        interestingness(&all[b])
+            .partial_cmp(&interestingness(&all[a]))
+            .unwrap()
+    });
+    let mut selected = Vec::new();
+    for c in order {
+        let cluster = &all[c];
+        let already = cluster
+            .objects()
+            .iter()
+            .filter(|&&o| covered[o])
+            .count();
+        let frac = already as f64 / cluster.size() as f64;
+        if frac >= redundancy_threshold && already > 0 {
+            continue; // redundant
+        }
+        for &o in cluster.objects() {
+            covered[o] = true;
+        }
+        selected.push(c);
+    }
+    selected
+}
+
+/// Statistical explanation selection (STATPC-style). Candidates are
+/// examined in descending size; a candidate is admitted only when its
+/// novel-object count is *significantly larger* than expected under the
+/// independence null given the current selection.
+///
+/// Null model: each object is covered by the selection independently with
+/// probability `1 − Π_K (1 − |O_K|/n)`. For candidate `C` with `m = |O_C|`
+/// the expected novel count is `m·q` (with `q` the miss probability); the
+/// observed novel count `x` is significant when the Chernoff–Hoeffding
+/// tail `exp(−2·m·(x/m − q)²)` falls below `significance`.
+pub fn statpc_select(
+    all: &[SubspaceCluster],
+    n: usize,
+    significance: f64,
+) -> Vec<usize> {
+    assert!(n >= 1, "population size required");
+    assert!(significance > 0.0 && significance < 1.0, "significance in (0,1)");
+    let mut order: Vec<usize> = (0..all.len()).collect();
+    order.sort_by_key(|&c| std::cmp::Reverse(all[c].size()));
+    let mut selected: Vec<usize> = Vec::new();
+    let mut miss_prob = 1.0f64; // Π (1 − |O_K|/n)
+    let mut covered = vec![false; n];
+    for c in order {
+        let cluster = &all[c];
+        let m = cluster.size();
+        let novel = cluster
+            .objects()
+            .iter()
+            .filter(|&&o| o < n && !covered[o])
+            .count();
+        let expected_rate = miss_prob;
+        let observed_rate = novel as f64 / m as f64;
+        let excess = observed_rate - expected_rate;
+        let explained = if excess <= 0.0 {
+            true
+        } else {
+            // Hoeffding tail for observing ≥ x novel objects under the null.
+            let p_value = (-2.0 * m as f64 * excess * excess).exp();
+            p_value >= significance
+        };
+        if explained && !selected.is_empty() {
+            continue;
+        }
+        for &o in cluster.objects() {
+            if o < n {
+                covered[o] = true;
+            }
+        }
+        miss_prob *= 1.0 - (m as f64 / n as f64).min(1.0);
+        selected.push(c);
+    }
+    selected
+}
+
+/// Counts, for reporting, how many of `all` are projections (subspace
+/// subsets with object subsets) of some *selected* cluster — the
+/// redundancy mass a selection explains away.
+pub fn redundant_projections(all: &[SubspaceCluster], selected: &[usize]) -> usize {
+    let mut count = 0;
+    for (i, c) in all.iter().enumerate() {
+        if selected.contains(&i) {
+            continue;
+        }
+        let is_projection = selected.iter().any(|&s| {
+            let sel = &all[s];
+            c.dim_overlap(sel) == c.dimensionality()
+                && c.object_overlap(sel) == c.size()
+        });
+        if is_projection {
+            count += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::osclu::size_times_dims;
+
+    fn sc(objects: &[usize], dims: &[usize]) -> SubspaceCluster {
+        SubspaceCluster::new(objects.to_vec(), dims.to_vec())
+    }
+
+    /// A 3-d cluster and its seven lower-dimensional projections: RESCU
+    /// keeps exactly the maximal one (the slide-77 scenario).
+    fn cluster_with_projections() -> Vec<SubspaceCluster> {
+        let objects: Vec<usize> = (0..20).collect();
+        let mut all = vec![sc(&objects, &[0, 1, 2])];
+        for dims in [
+            vec![0],
+            vec![1],
+            vec![2],
+            vec![0, 1],
+            vec![0, 2],
+            vec![1, 2],
+        ] {
+            all.push(sc(&objects, &dims));
+        }
+        all
+    }
+
+    #[test]
+    fn rescu_keeps_only_the_maximal_cluster() {
+        let all = cluster_with_projections();
+        let selected = rescu_select(&all, size_times_dims, 0.9);
+        assert_eq!(selected, vec![0], "highest-interest maximal cluster only");
+        assert_eq!(redundant_projections(&all, &selected), 6);
+    }
+
+    #[test]
+    fn rescu_keeps_clusters_with_novel_objects() {
+        let all = vec![
+            sc(&(0..20).collect::<Vec<_>>(), &[0, 1]),
+            sc(&(20..40).collect::<Vec<_>>(), &[0, 1]),
+            sc(&(0..20).collect::<Vec<_>>(), &[0]), // projection
+        ];
+        let selected = rescu_select(&all, size_times_dims, 0.9);
+        assert_eq!(selected.len(), 2);
+        assert!(selected.contains(&0) && selected.contains(&1));
+    }
+
+    #[test]
+    fn rescu_threshold_zero_keeps_disjoint_only() {
+        let all = vec![
+            sc(&[0, 1, 2, 3], &[0, 1]),
+            sc(&[3, 4, 5, 6], &[0, 1]), // shares object 3
+            sc(&[7, 8], &[0, 1]),
+        ];
+        let selected = rescu_select(&all, size_times_dims, 0.0);
+        // Any already-covered object disqualifies at threshold 0 (but the
+        // first cluster, covering nothing yet, always enters).
+        assert!(selected.contains(&0));
+        assert!(!selected.contains(&1));
+        assert!(selected.contains(&2));
+    }
+
+    #[test]
+    fn statpc_explains_away_projections() {
+        let all = cluster_with_projections();
+        let selected = statpc_select(&all, 100, 0.01);
+        assert_eq!(selected.len(), 1, "projections explained by the maximal cluster");
+    }
+
+    #[test]
+    fn statpc_admits_significant_novel_structure() {
+        // Clusters must be large enough for the Hoeffding tail to flag the
+        // excess as significant: 100 fully-novel objects against a 25%
+        // null coverage gives p ≈ e^{−12.5}.
+        let all = vec![
+            sc(&(0..100).collect::<Vec<_>>(), &[0, 1]),
+            sc(&(200..300).collect::<Vec<_>>(), &[2, 3]),
+        ];
+        let selected = statpc_select(&all, 400, 0.01);
+        assert_eq!(selected.len(), 2, "disjoint structure is not explained away");
+    }
+
+    #[test]
+    fn statpc_first_cluster_always_selected() {
+        let all = vec![sc(&[0, 1, 2], &[0])];
+        let selected = statpc_select(&all, 10, 0.01);
+        assert_eq!(selected, vec![0]);
+    }
+}

@@ -1,0 +1,273 @@
+//! SUBCLU (Kailing, Kriegel & Kröger 2004b) — slide 74.
+//!
+//! Density-based subspace clustering: DBSCAN's density-connectivity is
+//! anti-monotone under projection (a cluster in subspace `S` is contained
+//! in clusters of every `T ⊂ S`), so clusters can be mined bottom-up —
+//! with the decisive refinement that a `(k+1)`-dimensional candidate is
+//! only searched **inside the clusters of one of its `k`-dimensional
+//! parents** (the one with the fewest clustered objects), never on the full
+//! database. Compared to grids this inherits DBSCAN's arbitrary cluster
+//! shapes and noise robustness (slide 74), at the cost of many DBSCAN runs
+//! — the trade-off experiment E12 measures both.
+
+use std::collections::HashMap;
+
+use multiclust_core::subspace::{SubspaceCluster, SubspaceClustering};
+use multiclust_data::Dataset;
+
+use multiclust_base::Dbscan;
+
+/// SUBCLU configuration (shared `ε`/`min_pts` across subspaces, following
+/// the original).
+#[derive(Clone, Copy, Debug)]
+pub struct Subclu {
+    /// DBSCAN neighbourhood radius.
+    pub eps: f64,
+    /// DBSCAN density threshold.
+    pub min_pts: usize,
+    /// Maximum subspace dimensionality to explore (0 = unbounded).
+    pub max_dim: usize,
+}
+
+/// SUBCLU output.
+#[derive(Clone, Debug)]
+pub struct SubcluResult {
+    /// All density-based subspace clusters.
+    pub clusters: SubspaceClustering,
+    /// Number of DBSCAN invocations (the dominant cost).
+    pub dbscan_runs: usize,
+}
+
+impl Subclu {
+    /// SUBCLU with the given DBSCAN parameters, unbounded depth.
+    pub fn new(eps: f64, min_pts: usize) -> Self {
+        assert!(eps > 0.0, "eps must be positive");
+        assert!(min_pts >= 1, "min_pts must be at least 1");
+        Self { eps, min_pts, max_dim: 0 }
+    }
+
+    /// Bounds the explored dimensionality.
+    #[must_use]
+    pub fn with_max_dim(mut self, max_dim: usize) -> Self {
+        self.max_dim = max_dim;
+        self
+    }
+
+    /// Runs SUBCLU.
+    pub fn fit(&self, data: &Dataset) -> SubcluResult {
+        let d = data.dims();
+        let mut dbscan_runs = 0usize;
+        let mut all_clusters: SubspaceClustering = Vec::new();
+        // clusters per surviving subspace, as member lists.
+        let mut frontier: HashMap<Vec<usize>, Vec<Vec<usize>>> = HashMap::new();
+
+        // Level 1: full DBSCAN per dimension.
+        for dim in 0..d {
+            let projected = data.project(&[dim]);
+            let clustering = Dbscan::new(self.eps, self.min_pts).fit(&projected);
+            dbscan_runs += 1;
+            let members: Vec<Vec<usize>> = clustering
+                .members()
+                .into_iter()
+                .filter(|m| !m.is_empty())
+                .collect();
+            if !members.is_empty() {
+                for m in &members {
+                    all_clusters.push(SubspaceCluster::new(m.clone(), vec![dim]));
+                }
+                frontier.insert(vec![dim], members);
+            }
+        }
+
+        // Higher levels.
+        let mut level = 1usize;
+        while !frontier.is_empty() {
+            if self.max_dim != 0 && level >= self.max_dim {
+                break;
+            }
+            let keys: Vec<Vec<usize>> = {
+                let mut k: Vec<_> = frontier.keys().cloned().collect();
+                k.sort();
+                k
+            };
+            let mut next: HashMap<Vec<usize>, Vec<Vec<usize>>> = HashMap::new();
+            for (i, a) in keys.iter().enumerate() {
+                for b in &keys[i + 1..] {
+                    let k = a.len();
+                    if a[..k - 1] != b[..k - 1] || a[k - 1] == b[k - 1] {
+                        continue;
+                    }
+                    let mut cand = a.clone();
+                    cand.push(b[k - 1]);
+                    cand.sort_unstable();
+                    if next.contains_key(&cand) {
+                        continue;
+                    }
+                    // Apriori: every k-subset must carry clusters.
+                    if !all_subsets_in(&cand, &frontier) {
+                        continue;
+                    }
+                    // Best parent: fewest clustered objects (slide 74's
+                    // efficiency device — DBSCAN runs only inside parent
+                    // clusters).
+                    let parent = cand
+                        .iter()
+                        .map(|&skip| {
+                            let sub: Vec<usize> =
+                                cand.iter().copied().filter(|&x| x != skip).collect();
+                            sub
+                        })
+                        .min_by_key(|sub| {
+                            frontier[sub].iter().map(Vec::len).sum::<usize>()
+                        })
+                        .expect("candidate has subsets");
+                    let mut cand_clusters: Vec<Vec<usize>> = Vec::new();
+                    for parent_cluster in &frontier[&parent] {
+                        let projected = data.project(&cand).select(parent_cluster);
+                        let clustering =
+                            Dbscan::new(self.eps, self.min_pts).fit(&projected);
+                        dbscan_runs += 1;
+                        for local in clustering.members() {
+                            if local.is_empty() {
+                                continue;
+                            }
+                            let global: Vec<usize> =
+                                local.iter().map(|&li| parent_cluster[li]).collect();
+                            cand_clusters.push(global);
+                        }
+                    }
+                    if !cand_clusters.is_empty() {
+                        for m in &cand_clusters {
+                            all_clusters.push(SubspaceCluster::new(m.clone(), cand.clone()));
+                        }
+                        next.insert(cand, cand_clusters);
+                    }
+                }
+            }
+            frontier = next;
+            level += 1;
+        }
+
+        SubcluResult { clusters: all_clusters, dbscan_runs }
+    }
+}
+
+fn all_subsets_in(cand: &[usize], frontier: &HashMap<Vec<usize>, Vec<Vec<usize>>>) -> bool {
+    for skip in 0..cand.len() {
+        let sub: Vec<usize> = cand
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != skip)
+            .map(|(_, &d)| d)
+            .collect();
+        if !frontier.contains_key(&sub) {
+            return false;
+        }
+    }
+    true
+}
+
+
+impl Subclu {
+    /// Taxonomy card (slide 74's density-based subspace clustering).
+    pub fn card() -> multiclust_core::taxonomy::AlgorithmCard {
+        use multiclust_core::taxonomy::*;
+        AlgorithmCard {
+            name: "SUBCLU",
+            reference: "Kailing et al. 2004b",
+            space: SearchSpace::Subspaces,
+            processing: Processing::Simultaneous,
+            knowledge: GivenKnowledge::None,
+            solutions: Solutions::AtLeastTwo,
+            subspace: SubspaceAwareness::NoDissimilarity,
+            flexibility: Flexibility::Specialized,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multiclust_data::synthetic::{planted_views, ring2d, uniform, ViewSpec};
+    use multiclust_data::seeded_rng;
+
+    #[test]
+    fn finds_planted_two_dim_clusters() {
+        let mut rng = seeded_rng(191);
+        let spec = ViewSpec { dims: 2, clusters: 2, separation: 10.0, noise: 0.5 };
+        let p = planted_views(120, &[spec], 1, &mut rng);
+        let res = Subclu::new(1.2, 5).fit(&p.dataset);
+        let deep: Vec<_> = res
+            .clusters
+            .iter()
+            .filter(|c| c.dims() == [0, 1])
+            .collect();
+        assert!(deep.len() >= 2, "clusters in the planted subspace: {}", deep.len());
+        assert!(res.dbscan_runs > 3, "bottom-up runs recorded");
+    }
+
+    #[test]
+    fn finds_ring_shaped_subspace_cluster() {
+        // A ring lives in dims {0,1}; dim 2 is uniform noise. Grid methods
+        // shatter the ring; SUBCLU keeps it whole.
+        let mut rng = seeded_rng(192);
+        let ring = ring2d(200, (0.0, 0.0), 8.0, 0.2, &mut rng);
+        let noise_dim = uniform(200, 1, -20.0, 20.0, &mut rng);
+        let rows: Vec<Vec<f64>> = ring
+            .rows()
+            .zip(noise_dim.rows())
+            .map(|(r, u)| vec![r[0], r[1], u[0]])
+            .collect();
+        let data = Dataset::from_rows(&rows);
+        let res = Subclu::new(1.5, 5).with_max_dim(2).fit(&data);
+        let ring_clusters: Vec<_> = res
+            .clusters
+            .iter()
+            .filter(|c| c.dims() == [0, 1])
+            .collect();
+        assert_eq!(ring_clusters.len(), 1, "one connected ring cluster");
+        assert!(ring_clusters[0].size() > 180);
+    }
+
+    #[test]
+    fn projection_monotonicity_holds() {
+        // Every object in a 2-d cluster must belong to some cluster of both
+        // 1-d projections.
+        let mut rng = seeded_rng(193);
+        let spec = ViewSpec { dims: 2, clusters: 2, separation: 10.0, noise: 0.5 };
+        let p = planted_views(100, &[spec], 0, &mut rng);
+        let res = Subclu::new(1.2, 5).fit(&p.dataset);
+        for cluster in res.clusters.iter().filter(|c| c.dimensionality() == 2) {
+            for &sub_dim in cluster.dims() {
+                for &o in cluster.objects() {
+                    let covered = res
+                        .clusters
+                        .iter()
+                        .filter(|c| c.dims() == [sub_dim])
+                        .any(|c| c.contains_object(o));
+                    assert!(covered, "object {o} of 2-d cluster missing in 1-d {sub_dim}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_dim_bounds_depth() {
+        let mut rng = seeded_rng(194);
+        let spec = ViewSpec { dims: 3, clusters: 2, separation: 10.0, noise: 0.5 };
+        let p = planted_views(80, &[spec], 0, &mut rng);
+        let res = Subclu::new(1.5, 4).with_max_dim(2).fit(&p.dataset);
+        assert!(res.clusters.iter().all(|c| c.dimensionality() <= 2));
+    }
+
+    #[test]
+    fn pure_noise_produces_nothing_deep() {
+        let mut rng = seeded_rng(195);
+        let data = uniform(150, 4, 0.0, 100.0, &mut rng);
+        let res = Subclu::new(0.5, 5).fit(&data);
+        assert!(
+            res.clusters.iter().all(|c| c.dimensionality() <= 1),
+            "sparse uniform noise has no deep density clusters"
+        );
+    }
+}

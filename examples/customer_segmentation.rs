@@ -1,0 +1,99 @@
+//! Customer segmentation in subspace projections.
+//!
+//! The tutorial's running example (slides 8, 14–18): customers look unique
+//! across all ten attributes, but group cleanly when only the
+//! *professional* or only the *leisure* attributes are considered. This
+//! example mines subspace clusters with CLIQUE, removes the redundant
+//! projections with OSCLU, and contrasts the result with PROCLUS, which by
+//! design returns a single disjoint partition.
+//!
+//! ```text
+//! cargo run --example customer_segmentation
+//! ```
+
+use multiclust::core::subspace::SubspaceCluster;
+use multiclust::data::synthetic::customer_profiles;
+use multiclust::data::seeded_rng;
+use multiclust::subspace::{Clique, Osclu, Proclus};
+
+fn describe(cluster: &SubspaceCluster, names: &[String]) -> String {
+    let dims: Vec<&str> = cluster.dims().iter().map(|&d| names[d].as_str()).collect();
+    format!("{} customers grouped by [{}]", cluster.size(), dims.join(", "))
+}
+
+fn main() {
+    let mut rng = seeded_rng(7);
+    let (planted, _views) = customer_profiles(300, &mut rng);
+    let names: Vec<String> = planted
+        .dataset
+        .dim_names()
+        .expect("generator names the attributes")
+        .to_vec();
+
+    // Subspace clustering: every valid (objects, attributes) pair.
+    let normalized = planted.dataset.min_max_normalized();
+    let mined = Clique::new(6, 0.04).fit(&normalized);
+    println!(
+        "CLIQUE mined {} subspace clusters across {} subspaces (redundancy included)",
+        mined.clusters.len(),
+        mined.dense_subspaces.len()
+    );
+
+    // OSCLU: keep one representative per orthogonal concept.
+    let selection = Osclu::new(0.6, 0.5).select_greedy(&mined.clusters);
+    println!(
+        "\nOSCLU keeps {} clusters in orthogonal concepts:",
+        selection.selected.len()
+    );
+    let mut shown = 0;
+    for &idx in &selection.selected {
+        let c = &mined.clusters[idx];
+        if c.dimensionality() >= 2 {
+            println!("  - {}", describe(c, &names));
+            shown += 1;
+        }
+        if shown == 8 {
+            break;
+        }
+    }
+
+    // How do the selected clusters relate to the planted views?
+    let in_view = |c: &SubspaceCluster, dims: &[usize]| {
+        c.dims().iter().all(|d| dims.contains(d))
+    };
+    let professional = selection
+        .selected
+        .iter()
+        .filter(|&&i| in_view(&mined.clusters[i], &planted.view_dims[0]))
+        .count();
+    let leisure = selection
+        .selected
+        .iter()
+        .filter(|&&i| in_view(&mined.clusters[i], &planted.view_dims[1]))
+        .count();
+    println!(
+        "\nselected clusters inside the professional view: {professional}, \
+         inside the leisure view: {leisure}"
+    );
+
+    // Contrast: projected clustering returns ONE disjoint partition.
+    let proclus = Proclus::new(3, 3).fit(&planted.dataset, &mut rng);
+    println!(
+        "\nPROCLUS (projected clustering, single solution): {} clusters, {} outliers",
+        proclus
+            .clustering
+            .sizes()
+            .iter()
+            .filter(|&&s| s > 0)
+            .count(),
+        proclus.clustering.num_noise()
+    );
+    for (i, dims) in proclus.cluster_dims.iter().enumerate() {
+        let dim_names: Vec<&str> = dims.iter().map(|&d| names[d].as_str()).collect();
+        println!("  cluster {} uses [{}]", i + 1, dim_names.join(", "));
+    }
+    println!(
+        "\neach customer belongs to exactly one PROCLUS cluster — the second\n\
+         view (slide 66's criticism) is structurally unreachable there."
+    );
+}

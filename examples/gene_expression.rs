@@ -1,0 +1,88 @@
+//! Gene-expression analysis: alternatives to a known grouping.
+//!
+//! The tutorial's first motivating application (slide 5): genes have
+//! multiple functional roles, so a single clustering of expression
+//! profiles is never the whole story. Given the "known" functional
+//! grouping (the one a first analysis would find), three different
+//! paradigms each extract the second role structure:
+//!
+//! * COALA (original space, constraint-driven),
+//! * the metric flip of Davidson & Qi (learned transformation),
+//! * Cui et al.'s orthogonal projections (iterated PCA removal).
+//!
+//! ```text
+//! cargo run --example gene_expression
+//! ```
+
+use multiclust::alternative::Coala;
+use multiclust::base::KMeans;
+use multiclust::core::measures::diss::adjusted_rand_index;
+use multiclust::core::Clustering;
+use multiclust::data::synthetic::{planted_views, ViewSpec};
+use multiclust::data::seeded_rng;
+use multiclust::orthogonal::{MetricFlip, OrthogonalProjectionClustering};
+
+fn main() {
+    let mut rng = seeded_rng(11);
+    // 240 genes measured under two condition groups; the first role
+    // structure is the dominant one (it is what a first analysis finds),
+    // the second is real but weaker — the "multiple functional roles" of
+    // slide 5.
+    let specs = [
+        ViewSpec { dims: 4, clusters: 3, separation: 10.0, noise: 0.8 },
+        ViewSpec { dims: 4, clusters: 3, separation: 5.0, noise: 0.8 },
+    ];
+    let planted = planted_views(240, &specs, 0, &mut rng);
+    let role_a = Clustering::from_labels(&planted.truths[0]);
+    let role_b = Clustering::from_labels(&planted.truths[1]);
+
+    // The "known" clustering: the already-annotated role structure A
+    // (slide 30: "generate a single clustering solution — or assume it is
+    // given"). The analysis question is what *else* groups the genes.
+    let known = role_a.clone();
+    let hidden = &role_b;
+    println!(
+        "given knowledge: role structure A ({} clusters). A plain k-means\n\
+         re-run would mostly rediscover it (ARI {:.3}) — the second role\n\
+         structure needs alternative-clustering machinery.\n",
+        known.num_clusters(),
+        adjusted_rand_index(
+            &KMeans::new(3).with_restarts(6).fit(&planted.dataset, &mut rng).clustering,
+            &known
+        )
+    );
+
+    let report = |name: &str, alt: &Clustering| {
+        println!(
+            "{name:<28} ARI vs hidden roles: {:+.3}   ARI vs known: {:+.3}",
+            adjusted_rand_index(alt, hidden),
+            adjusted_rand_index(alt, &known)
+        );
+    };
+
+    // 1. COALA — constraints from the known clustering.
+    let coala = Coala::new(3, 0.7).fit(&planted.dataset, &known);
+    report("COALA (w=0.7)", &coala.clustering);
+
+    // 2. Metric flip — learn, decompose, invert the stretcher, re-cluster.
+    let km = KMeans::new(3).with_restarts(6);
+    let flip = MetricFlip::new().fit(&planted.dataset, &known, &km, &mut rng);
+    report("metric flip (Davidson & Qi)", &flip.clustering);
+
+    // 3. Orthogonal projections — remove the known structure's principal
+    //    directions and cluster the residual space.
+    let cui = OrthogonalProjectionClustering::new()
+        .with_variance_fraction(0.999)
+        .with_max_views(3)
+        .fit(&planted.dataset, &km, &mut rng);
+    if let Some(second) = cui.views.get(1) {
+        report("orthogonal projections (Cui)", &second.clustering);
+    }
+    println!(
+        "\nexpected: the transformation methods align with the hidden role\n\
+         structure (high first column, low second). COALA recovers it only\n\
+         partially here: genes sharing role B often also share role A, so its\n\
+         cannot-link constraints forbid part of the hidden grouping — the\n\
+         slide-31 point that 100% constraint satisfaction is not meaningful."
+    );
+}

@@ -1,0 +1,307 @@
+//! `multiclust` — command-line front end for the library.
+//!
+//! Reads numeric CSV tables, runs a selected (multiple-)clustering method
+//! and prints the resulting labelling(s) as CSV on stdout (one column per
+//! solution, `-1` for noise), so results pipe straight into other tools.
+//!
+//! ```text
+//! multiclust kmeans       --input data.csv --k 3
+//! multiclust dbscan       --input data.csv --eps 0.5 --min-pts 5
+//! multiclust dec-kmeans   --input data.csv --ks 2,2 --lambda 4
+//! multiclust alternative  --input data.csv --given labels.csv --k 2 --method coala
+//! multiclust subspace     --input data.csv --xi 6 --tau 0.05 --select osclu
+//! multiclust compare      --a labels_a.csv --b labels_b.csv
+//! ```
+//!
+//! Common flags: `--header` (first CSV line is a header), `--seed <u64>`
+//! (default 42).
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::process::ExitCode;
+
+use multiclust::alternative::{Coala, DecKMeans, MinCEntropy};
+use multiclust::base::{Dbscan, KMeans};
+use multiclust::core::measures::diss::{
+    adjusted_rand_index, jaccard_index, normalized_mutual_information, rand_index,
+    variation_of_information,
+};
+use multiclust::core::Clustering;
+use multiclust::data::io::read_csv;
+use multiclust::data::{seeded_rng, Dataset};
+use multiclust::orthogonal::{MetricFlip, QiDavidson};
+use multiclust::subspace::osclu::size_times_dims;
+use multiclust::subspace::redundancy::{rescu_select, statpc_select};
+use multiclust::subspace::{Clique, Osclu};
+
+const USAGE: &str = "\
+multiclust — discovering multiple clustering solutions
+
+usage: multiclust <command> [flags]
+
+commands:
+  kmeans       --input <csv> --k <n>
+  dbscan       --input <csv> --eps <f> --min-pts <n>
+  dec-kmeans   --input <csv> --ks <n,n[,n..]> [--lambda <f>]
+  alternative  --input <csv> --given <labels.csv> --k <n>
+               [--method coala|mincentropy|metricflip|qidavidson] [--w <f>]
+  subspace     --input <csv> --xi <n> --tau <f>
+               [--select none|osclu|rescu|statpc] [--beta <f>] [--alpha <f>]
+  compare      --a <labels.csv> --b <labels.csv>
+
+common flags: --header   first CSV line is a header row
+              --seed <n> RNG seed (default 42)
+
+output: CSV on stdout — one column per solution, label per object,
+        -1 for noise; `subspace` prints one cluster per line instead;
+        `compare` prints agreement measures.
+";
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parsed flag map: `--key value` pairs plus boolean `--header`.
+struct Flags(HashMap<String, String>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut map = HashMap::new();
+        let mut i = 0;
+        while i < args.len() {
+            let key = args[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected a --flag, got {:?}", args[i]))?;
+            if key == "header" {
+                map.insert(key.to_string(), "true".to_string());
+                i += 1;
+            } else {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                map.insert(key.to_string(), value.clone());
+                i += 2;
+            }
+        }
+        Ok(Self(map))
+    }
+
+    fn str(&self, key: &str) -> Result<&str, String> {
+        self.0
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        self.str(key)?
+            .parse()
+            .map_err(|_| format!("flag --{key}: cannot parse {:?}", self.str(key).unwrap()))
+    }
+
+    fn parsed_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.0.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{key}: cannot parse {v:?}")),
+        }
+    }
+
+    fn bool(&self, key: &str) -> bool {
+        self.0.contains_key(key)
+    }
+}
+
+fn run(args: Vec<String>) -> Result<String, String> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err("no command given".into());
+    };
+    let flags = Flags::parse(rest)?;
+    match command.as_str() {
+        "kmeans" => cmd_kmeans(&flags),
+        "dbscan" => cmd_dbscan(&flags),
+        "dec-kmeans" => cmd_dec_kmeans(&flags),
+        "alternative" => cmd_alternative(&flags),
+        "subspace" => cmd_subspace(&flags),
+        "compare" => cmd_compare(&flags),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn load_data(flags: &Flags) -> Result<Dataset, String> {
+    let path = flags.str("input")?;
+    read_csv(Path::new(path), flags.bool("header"))
+        .map_err(|e| format!("reading {path}: {e}"))
+}
+
+/// Loads a single-column integer label file into a `Clustering`
+/// (`-1` = noise).
+fn load_labels(path: &str) -> Result<Clustering, String> {
+    let ds = read_csv(Path::new(path), false).map_err(|e| format!("reading {path}: {e}"))?;
+    if ds.dims() != 1 {
+        return Err(format!("label file {path} must have exactly one column"));
+    }
+    let assignments: Vec<Option<usize>> = ds
+        .rows()
+        .map(|r| {
+            let v = r[0];
+            if v < 0.0 {
+                None
+            } else {
+                Some(v as usize)
+            }
+        })
+        .collect();
+    Ok(Clustering::from_options(assignments))
+}
+
+/// Renders solutions as CSV: one column per solution, `-1` for noise.
+fn render_solutions(solutions: &[&Clustering]) -> String {
+    let n = solutions.first().map_or(0, |s| s.len());
+    let mut out = String::new();
+    for i in 0..n {
+        for (c, s) in solutions.iter().enumerate() {
+            if c > 0 {
+                out.push(',');
+            }
+            match s.assignment(i) {
+                Some(l) => out.push_str(&l.to_string()),
+                None => out.push_str("-1"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn cmd_kmeans(flags: &Flags) -> Result<String, String> {
+    let data = load_data(flags)?;
+    let k: usize = flags.parsed("k")?;
+    let mut rng = seeded_rng(flags.parsed_or("seed", 42u64)?);
+    let res = KMeans::new(k).with_restarts(4).fit(&data, &mut rng);
+    Ok(render_solutions(&[&res.clustering]))
+}
+
+fn cmd_dbscan(flags: &Flags) -> Result<String, String> {
+    let data = load_data(flags)?;
+    let eps: f64 = flags.parsed("eps")?;
+    let min_pts: usize = flags.parsed("min-pts")?;
+    let c = Dbscan::new(eps, min_pts).fit(&data);
+    Ok(render_solutions(&[&c]))
+}
+
+fn cmd_dec_kmeans(flags: &Flags) -> Result<String, String> {
+    let data = load_data(flags)?;
+    let ks: Vec<usize> = flags
+        .str("ks")?
+        .split(',')
+        .map(|s| s.trim().parse().map_err(|_| format!("bad k {s:?} in --ks")))
+        .collect::<Result<_, _>>()?;
+    let lambda: f64 = flags.parsed_or("lambda", 1.0)?;
+    let mut rng = seeded_rng(flags.parsed_or("seed", 42u64)?);
+    let res = DecKMeans::new(&ks).with_lambda(lambda).fit(&data, &mut rng);
+    let refs: Vec<&Clustering> = res.clusterings.iter().collect();
+    Ok(render_solutions(&refs))
+}
+
+fn cmd_alternative(flags: &Flags) -> Result<String, String> {
+    let data = load_data(flags)?;
+    let given = load_labels(flags.str("given")?)?;
+    if given.len() != data.len() {
+        return Err(format!(
+            "label file has {} rows, data has {}",
+            given.len(),
+            data.len()
+        ));
+    }
+    let k: usize = flags.parsed("k")?;
+    let mut rng = seeded_rng(flags.parsed_or("seed", 42u64)?);
+    let method = flags.parsed_or("method", "coala".to_string())?;
+    let alternative = match method.as_str() {
+        "coala" => {
+            let w: f64 = flags.parsed_or("w", 1.0)?;
+            Coala::new(k, w).fit(&data, &given).clustering
+        }
+        "mincentropy" => {
+            let w: f64 = flags.parsed_or("w", 2.0)?;
+            MinCEntropy::new(k, w).fit(&data, &[&given], &mut rng)
+        }
+        "metricflip" => {
+            let km = KMeans::new(k).with_restarts(4);
+            MetricFlip::new().fit(&data, &given, &km, &mut rng).clustering
+        }
+        "qidavidson" => {
+            let km = KMeans::new(k).with_restarts(4);
+            QiDavidson::new().fit(&data, &given, &km, &mut rng).clustering
+        }
+        other => return Err(format!("unknown alternative method {other:?}")),
+    };
+    Ok(render_solutions(&[&given, &alternative]))
+}
+
+fn cmd_subspace(flags: &Flags) -> Result<String, String> {
+    let data = load_data(flags)?.min_max_normalized();
+    let xi: u32 = flags.parsed("xi")?;
+    let tau: f64 = flags.parsed("tau")?;
+    let mined = Clique::new(xi, tau).fit(&data);
+    let select = flags.parsed_or("select", "osclu".to_string())?;
+    let kept: Vec<usize> = match select.as_str() {
+        "none" => (0..mined.clusters.len()).collect(),
+        "osclu" => {
+            let beta: f64 = flags.parsed_or("beta", 0.75)?;
+            let alpha: f64 = flags.parsed_or("alpha", 0.5)?;
+            Osclu::new(beta, alpha).select_greedy(&mined.clusters).selected
+        }
+        "rescu" => rescu_select(&mined.clusters, size_times_dims, 0.9),
+        "statpc" => statpc_select(&mined.clusters, data.len(), 0.01),
+        other => return Err(format!("unknown selection {other:?}")),
+    };
+    let mut out = String::new();
+    out.push_str("# cluster_id, dims, objects\n");
+    for (row, &idx) in kept.iter().enumerate() {
+        let c = &mined.clusters[idx];
+        out.push_str(&format!(
+            "{},\"{}\",\"{}\"\n",
+            row,
+            c.dims()
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(" "),
+            c.objects()
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(" ")
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_compare(flags: &Flags) -> Result<String, String> {
+    let a = load_labels(flags.str("a")?)?;
+    let b = load_labels(flags.str("b")?)?;
+    if a.len() != b.len() {
+        return Err(format!("label files differ in length: {} vs {}", a.len(), b.len()));
+    }
+    Ok(format!(
+        "rand_index,{:.6}\nadjusted_rand_index,{:.6}\njaccard_index,{:.6}\n\
+         normalized_mutual_information,{:.6}\nvariation_of_information,{:.6}\n",
+        rand_index(&a, &b),
+        adjusted_rand_index(&a, &b),
+        jaccard_index(&a, &b),
+        normalized_mutual_information(&a, &b),
+        variation_of_information(&a, &b),
+    ))
+}

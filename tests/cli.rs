@@ -1,0 +1,180 @@
+//! End-to-end smoke tests for the `multiclust` CLI binary.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+use multiclust::core::measures::diss::adjusted_rand_index;
+use multiclust::core::Clustering;
+use multiclust::data::io::write_csv;
+use multiclust::data::synthetic::four_blob_square;
+use multiclust::data::seeded_rng;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_multiclust"))
+}
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("multiclust-cli-{name}"));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Parses CLI label output: one row per object, comma-separated columns.
+fn parse_labels(stdout: &str, column: usize) -> Clustering {
+    let assignments: Vec<Option<usize>> = stdout
+        .lines()
+        .filter(|l| !l.is_empty())
+        .map(|l| {
+            let cell: i64 = l.split(',').nth(column).unwrap().trim().parse().unwrap();
+            if cell < 0 {
+                None
+            } else {
+                Some(cell as usize)
+            }
+        })
+        .collect();
+    Clustering::from_options(assignments)
+}
+
+#[test]
+fn kmeans_roundtrip_through_csv() {
+    let dir = workdir("kmeans");
+    let fb = four_blob_square(20, 10.0, 0.6, &mut seeded_rng(801));
+    let input = dir.join("data.csv");
+    write_csv(&fb.dataset, &input).unwrap();
+
+    let out = bin()
+        .args(["kmeans", "--input", input.to_str().unwrap(), "--k", "4"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let found = parse_labels(&String::from_utf8_lossy(&out.stdout), 0);
+    assert_eq!(found.len(), 80);
+    let truth = Clustering::from_labels(&fb.blob);
+    assert!(adjusted_rand_index(&found, &truth) > 0.95);
+}
+
+#[test]
+fn dec_kmeans_emits_two_columns() {
+    let dir = workdir("dec");
+    let fb = four_blob_square(20, 10.0, 0.6, &mut seeded_rng(802));
+    let input = dir.join("data.csv");
+    write_csv(&fb.dataset, &input).unwrap();
+
+    let out = bin()
+        .args([
+            "dec-kmeans",
+            "--input",
+            input.to_str().unwrap(),
+            "--ks",
+            "2,2",
+            "--lambda",
+            "10",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    let a = parse_labels(&stdout, 0);
+    let b = parse_labels(&stdout, 1);
+    assert_eq!(a.len(), 80);
+    assert_eq!(b.len(), 80);
+}
+
+#[test]
+fn alternative_against_given_labels() {
+    let dir = workdir("alt");
+    let fb = four_blob_square(20, 10.0, 0.6, &mut seeded_rng(803));
+    let input = dir.join("data.csv");
+    write_csv(&fb.dataset, &input).unwrap();
+    let labels_path = dir.join("given.csv");
+    let given_text: String = fb
+        .horizontal
+        .iter()
+        .map(|l| format!("{l}\n"))
+        .collect();
+    fs::write(&labels_path, given_text).unwrap();
+
+    let out = bin()
+        .args([
+            "alternative",
+            "--input",
+            input.to_str().unwrap(),
+            "--given",
+            labels_path.to_str().unwrap(),
+            "--k",
+            "2",
+            "--method",
+            "qidavidson",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    let given = parse_labels(&stdout, 0);
+    let alt = parse_labels(&stdout, 1);
+    let vertical = Clustering::from_labels(&fb.vertical);
+    assert!(adjusted_rand_index(&alt, &vertical) > 0.9);
+    assert!(adjusted_rand_index(&alt, &given) < 0.1);
+}
+
+#[test]
+fn compare_reports_measures() {
+    let dir = workdir("compare");
+    let a_path = dir.join("a.csv");
+    let b_path = dir.join("b.csv");
+    fs::write(&a_path, "0\n0\n1\n1\n").unwrap();
+    fs::write(&b_path, "1\n1\n0\n0\n").unwrap();
+    let out = bin()
+        .args([
+            "compare",
+            "--a",
+            a_path.to_str().unwrap(),
+            "--b",
+            b_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stdout.contains("rand_index,1.000000"), "{stdout}");
+    assert!(stdout.contains("adjusted_rand_index,1.000000"));
+    assert!(stdout.contains("variation_of_information,0.000000"));
+}
+
+#[test]
+fn subspace_lists_clusters() {
+    let dir = workdir("subspace");
+    let fb = four_blob_square(25, 10.0, 0.5, &mut seeded_rng(804));
+    let input = dir.join("data.csv");
+    write_csv(&fb.dataset, &input).unwrap();
+    let out = bin()
+        .args([
+            "subspace",
+            "--input",
+            input.to_str().unwrap(),
+            "--xi",
+            "5",
+            "--tau",
+            "0.1",
+            "--select",
+            "osclu",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stdout.starts_with("# cluster_id"));
+    assert!(stdout.lines().count() > 1, "at least one cluster reported");
+}
+
+#[test]
+fn bad_flags_fail_with_usage() {
+    let out = bin().args(["kmeans", "--k", "3"]).output().expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("missing required flag --input"));
+    assert!(stderr.contains("usage:"));
+}

@@ -1,0 +1,104 @@
+//! Exercises the taxonomy's *flexibility* axis literally: methods marked
+//! "exchangeable definition" (slide 116) must accept any `Clusterer`
+//! implementation — k-means, GMM, DBSCAN, agglomerative, spectral.
+
+use multiclust::base::{
+    Agglomerative, Clusterer, Dbscan, GaussianMixture, KMeans, Linkage,
+    SpectralClustering,
+};
+use multiclust::core::measures::diss::adjusted_rand_index;
+use multiclust::core::Clustering;
+use multiclust::data::synthetic::four_blob_square;
+use multiclust::data::seeded_rng;
+use multiclust::orthogonal::{MetricFlip, OrthogonalProjectionClustering, QiDavidson};
+
+fn portfolio() -> Vec<Box<dyn Clusterer>> {
+    vec![
+        Box::new(KMeans::new(2).with_restarts(4)),
+        Box::new(GaussianMixture::new(2)),
+        Box::new(Agglomerative::new(2, Linkage::Average)),
+        Box::new(SpectralClustering::new(2, 2.0)),
+    ]
+}
+
+#[test]
+fn metric_flip_accepts_any_clusterer() {
+    let mut rng = seeded_rng(701);
+    let fb = four_blob_square(25, 10.0, 0.6, &mut rng);
+    let given = Clustering::from_labels(&fb.horizontal);
+    let vertical = Clustering::from_labels(&fb.vertical);
+    for clusterer in portfolio() {
+        // Stochastic clusterers (GMM with a single EM start) occasionally
+        // land in a bad local optimum; take the best of a few attempts.
+        let ari = (0..4)
+            .map(|_| {
+                let res = MetricFlip::new().fit(&fb.dataset, &given, clusterer.as_ref(), &mut rng);
+                adjusted_rand_index(&res.clustering, &vertical)
+            })
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            ari > 0.85,
+            "{} through the metric flip recovers the vertical split: {ari}",
+            clusterer.name()
+        );
+    }
+}
+
+#[test]
+fn qi_davidson_accepts_any_clusterer() {
+    let mut rng = seeded_rng(702);
+    let fb = four_blob_square(25, 10.0, 0.6, &mut rng);
+    let given = Clustering::from_labels(&fb.horizontal);
+    let vertical = Clustering::from_labels(&fb.vertical);
+    for clusterer in portfolio() {
+        // Stochastic clusterers (GMM with a single EM start) occasionally
+        // land in a bad local optimum; take the best of a few attempts.
+        let ari = (0..4)
+            .map(|_| {
+                let res = QiDavidson::new().fit(&fb.dataset, &given, clusterer.as_ref(), &mut rng);
+                adjusted_rand_index(&res.clustering, &vertical)
+            })
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            ari > 0.85,
+            "{} through Qi-Davidson recovers the vertical split: {ari}",
+            clusterer.name()
+        );
+    }
+}
+
+#[test]
+fn cui_accepts_any_clusterer() {
+    let mut rng = seeded_rng(703);
+    let fb = four_blob_square(25, 10.0, 0.6, &mut rng);
+    for clusterer in portfolio() {
+        let res = OrthogonalProjectionClustering::new()
+            .with_max_views(2)
+            .fit(&fb.dataset, clusterer.as_ref(), &mut rng);
+        assert!(
+            !res.views.is_empty(),
+            "{} produced at least one view",
+            clusterer.name()
+        );
+    }
+}
+
+#[test]
+fn dbscan_works_as_trait_object_despite_ignoring_rng() {
+    let mut rng = seeded_rng(704);
+    let fb = four_blob_square(25, 10.0, 0.5, &mut rng);
+    let db: Box<dyn Clusterer> = Box::new(Dbscan::new(1.5, 4));
+    let c = db.cluster(&fb.dataset, &mut rng);
+    assert_eq!(c.len(), 100);
+    assert!(c.num_clusters() >= 4, "dense blobs found: {}", c.num_clusters());
+    assert_eq!(db.name(), "dbscan");
+}
+
+#[test]
+fn clusterer_names_are_distinct() {
+    let names: Vec<&str> = portfolio().iter().map(|c| c.name()).collect();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), names.len(), "duplicate names: {names:?}");
+}

@@ -1,0 +1,178 @@
+//! End-to-end integration tests: one full pipeline per tutorial paradigm,
+//! spanning data generation, base clusterers, paradigm methods and
+//! measures.
+
+use multiclust::alternative::{Coala, DecKMeans};
+use multiclust::base::KMeans;
+use multiclust::core::measures::diss::adjusted_rand_index;
+use multiclust::core::subspace::SubspaceCluster;
+use multiclust::core::Clustering;
+use multiclust::data::synthetic::{four_blob_square, planted_views, ViewSpec};
+use multiclust::data::seeded_rng;
+use multiclust::multiview::{CoEm, RandomProjectionEnsemble};
+use multiclust::orthogonal::QiDavidson;
+use multiclust::subspace::{Clique, Osclu};
+
+/// Original-space paradigm: traditional k-means finds one solution,
+/// Dec-kMeans finds both, COALA converts the first into the second.
+#[test]
+fn original_space_pipeline() {
+    let mut rng = seeded_rng(501);
+    let fb = four_blob_square(35, 10.0, 0.7, &mut rng);
+    let horizontal = Clustering::from_labels(&fb.horizontal);
+    let vertical = Clustering::from_labels(&fb.vertical);
+
+    let single = KMeans::new(2).with_restarts(4).fit(&fb.dataset, &mut rng).clustering;
+    let single_matches_one = adjusted_rand_index(&single, &horizontal).max(
+        adjusted_rand_index(&single, &vertical),
+    );
+    assert!(single_matches_one > 0.95, "k-means finds one split");
+
+    let mut recovered_both = false;
+    for _ in 0..5 {
+        let dec = DecKMeans::new(&[2, 2]).with_lambda(10.0).fit(&fb.dataset, &mut rng);
+        let fwd = adjusted_rand_index(&dec.clusterings[0], &horizontal)
+            .min(adjusted_rand_index(&dec.clusterings[1], &vertical));
+        let rev = adjusted_rand_index(&dec.clusterings[1], &horizontal)
+            .min(adjusted_rand_index(&dec.clusterings[0], &vertical));
+        if fwd.max(rev) > 0.9 {
+            recovered_both = true;
+            break;
+        }
+    }
+    assert!(recovered_both, "Dec-kMeans recovers both planted views");
+
+    let alt = Coala::new(2, 0.8).fit(&fb.dataset, &single).clustering;
+    assert!(
+        adjusted_rand_index(&alt, &single) < 0.1,
+        "COALA's alternative differs from the given solution"
+    );
+}
+
+/// Transformation paradigm: Qi & Davidson's closed form turns a given
+/// clustering into its orthogonal alternative via any base clusterer.
+#[test]
+fn transformation_pipeline() {
+    let mut rng = seeded_rng(502);
+    let fb = four_blob_square(30, 10.0, 0.7, &mut rng);
+    let horizontal = Clustering::from_labels(&fb.horizontal);
+    let vertical = Clustering::from_labels(&fb.vertical);
+    let km = KMeans::new(2).with_restarts(4);
+    let res = QiDavidson::new().fit(&fb.dataset, &horizontal, &km, &mut rng);
+    assert!(adjusted_rand_index(&res.clustering, &vertical) > 0.9);
+    assert!(adjusted_rand_index(&res.clustering, &horizontal) < 0.1);
+}
+
+/// Subspace paradigm: CLIQUE mines all clusters (with redundancy), OSCLU
+/// selects orthogonal concepts covering both planted views.
+#[test]
+fn subspace_pipeline() {
+    let specs = [
+        ViewSpec { dims: 2, clusters: 3, separation: 10.0, noise: 0.4 },
+        ViewSpec { dims: 2, clusters: 2, separation: 10.0, noise: 0.4 },
+    ];
+    let planted = planted_views(200, &specs, 0, &mut seeded_rng(503));
+    let data = planted.dataset.min_max_normalized();
+    let mined = Clique::new(6, 0.05).fit(&data);
+    assert!(mined.clusters.len() > 20, "redundant mining produces many clusters");
+
+    let selection = Osclu::new(0.75, 0.5).select_greedy(&mined.clusters);
+    assert!(
+        selection.selected.len() < mined.clusters.len(),
+        "selection removes redundancy"
+    );
+    // Both planted views survive the selection.
+    let in_view = |c: &SubspaceCluster, dims: &[usize]| {
+        c.dims().iter().all(|d| dims.contains(d))
+    };
+    for (v, dims) in planted.view_dims.iter().enumerate() {
+        assert!(
+            selection
+                .selected
+                .iter()
+                .any(|&i| in_view(&mined.clusters[i], dims)),
+            "view {v} is represented in the selection"
+        );
+    }
+}
+
+/// Multi-source paradigm: co-EM consensus on agreeing views, ensemble
+/// consensus on random projections — both beat naive expectations.
+#[test]
+fn multiview_pipeline() {
+    // Agreeing views for co-EM.
+    use multiclust::data::{Dataset, MultiViewDataset};
+    use multiclust::data::synthetic::gauss;
+    use rand::Rng;
+    let mut rng = seeded_rng(504);
+    let mut v1 = Dataset::with_dims(2);
+    let mut v2 = Dataset::with_dims(2);
+    let mut labels = Vec::new();
+    for _ in 0..120 {
+        let c = usize::from(rng.gen::<bool>());
+        labels.push(c);
+        let b = c as f64 * 9.0;
+        v1.push_row(&[b + gauss(&mut rng), gauss(&mut rng)]);
+        v2.push_row(&[gauss(&mut rng), b + gauss(&mut rng)]);
+    }
+    let mv = MultiViewDataset::new(vec![v1, v2]);
+    let truth = Clustering::from_labels(&labels);
+    let coem = CoEm::new(2).fit(&mv, &mut rng);
+    assert!(adjusted_rand_index(&coem.consensus, &truth) > 0.95);
+
+    // Ensemble over projections of the merged table.
+    let table = mv.concatenated();
+    let ens = RandomProjectionEnsemble::new(8, 2, 2, 2).fit(&table, &mut rng);
+    assert!(adjusted_rand_index(&ens.consensus, &truth) > 0.9);
+}
+
+/// The umbrella prelude exposes the core vocabulary.
+#[test]
+fn prelude_surface() {
+    use multiclust::prelude::*;
+    let a = Clustering::from_labels(&[0, 0, 1, 1]);
+    let b = Clustering::from_labels(&[1, 1, 0, 0]);
+    assert_eq!(rand_index(&a, &b), 1.0);
+    assert_eq!(adjusted_rand_index(&a, &b), 1.0);
+    let _rng = seeded_rng(1);
+}
+
+/// Claim (1) of the tutorial's motivation (slide 5): one object may play
+/// several roles. With overlapping planted roles, no partitioning method
+/// can represent the structure, but subspace clustering recovers every
+/// role as its own `(objects, dims)` cluster — with shared objects.
+#[test]
+fn subspace_clustering_recovers_overlapping_roles() {
+    use multiclust::core::measures::cluster_diss::cluster_jaccard;
+    use multiclust::data::synthetic::overlapping_roles;
+
+    let mut rng = seeded_rng(505);
+    let (data, roles) = overlapping_roles(250, 3, 2, 0.45, &mut rng);
+    let normalized = data.min_max_normalized();
+    let mined = Clique::new(6, 0.05).fit(&normalized);
+
+    for (r, (members, dims)) in roles.iter().enumerate() {
+        // Among mined clusters in exactly this role's subspace, one must
+        // match the planted member set well.
+        let best = mined
+            .clusters
+            .iter()
+            .filter(|c| c.dims() == dims.as_slice())
+            .map(|c| cluster_jaccard(c.objects(), members))
+            .fold(0.0f64, f64::max);
+        assert!(best > 0.7, "role {r} recovered with Jaccard {best}");
+    }
+
+    // And the recovered clusters genuinely overlap: some object belongs to
+    // clusters of two different roles.
+    let in_role = |o: usize, dims: &[usize]| {
+        mined
+            .clusters
+            .iter()
+            .any(|c| c.dims() == dims && c.contains_object(o))
+    };
+    let overlapping = (0..250)
+        .filter(|&o| in_role(o, &roles[0].1) && in_role(o, &roles[1].1))
+        .count();
+    assert!(overlapping > 20, "objects in several clusters: {overlapping}");
+}
