@@ -78,24 +78,39 @@ impl Coala {
         let mut dissimilarity_merges = 0;
 
         while groups.len() > self.k {
-            // Best quality merge: globally closest pair.
-            let mut qual: Option<(usize, usize, f64)> = None;
-            // Best dissimilarity merge: closest pair without spanning
-            // cannot-links.
-            let mut diss: Option<(usize, usize, f64)> = None;
-            for i in 0..groups.len() {
-                for j in (i + 1)..groups.len() {
-                    let d = average_link(data, &groups[i], &groups[j]);
-                    if qual.is_none_or(|(_, _, best)| d < best) {
-                        qual = Some((i, j, d));
+            // The O(groups²) scan for the best quality merge (globally
+            // closest pair) and the best dissimilarity merge (closest pair
+            // without spanning cannot-links) splits across threads as an
+            // ordered reduction over the lexicographic pair list: chunks
+            // are mapped independently and folded in pair order with a
+            // strict `<`, so the winner is the first minimum in scan order
+            // — bit-identical to the serial double loop.
+            let g = groups.len();
+            let pairs: Vec<(usize, usize)> = (0..g)
+                .flat_map(|i| ((i + 1)..g).map(move |j| (i, j)))
+                .collect();
+            let (qual, diss) = multiclust_parallel::par_reduce(
+                pairs.len(),
+                8,
+                |range| {
+                    let mut qual: Option<(usize, usize, f64)> = None;
+                    let mut diss: Option<(usize, usize, f64)> = None;
+                    for &(i, j) in &pairs[range] {
+                        let d = average_link(data, &groups[i], &groups[j]);
+                        if qual.is_none_or(|(_, _, best)| d < best) {
+                            qual = Some((i, j, d));
+                        }
+                        if constraints.allows_merge(&groups[i], &groups[j])
+                            && diss.is_none_or(|(_, _, best)| d < best)
+                        {
+                            diss = Some((i, j, d));
+                        }
                     }
-                    if constraints.allows_merge(&groups[i], &groups[j])
-                        && diss.is_none_or(|(_, _, best)| d < best)
-                    {
-                        diss = Some((i, j, d));
-                    }
-                }
-            }
+                    (qual, diss)
+                },
+                |a, b| (earlier_min(a.0, b.0), earlier_min(a.1, b.1)),
+            )
+            .expect("at least one pair exists");
             let (qi, qj, d_qual) = qual.expect("at least one pair exists");
             // Choose the merge per slide 32: quality iff d_qual < w·d_diss;
             // if no admissible dissimilarity merge exists, quality merges
@@ -133,6 +148,18 @@ impl Coala {
             subspace: SubspaceAwareness::NotApplicable,
             flexibility: Flexibility::Specialized,
         }
+    }
+}
+
+/// Keeps `a` unless `b` is strictly closer — the fold that preserves
+/// "first minimum in scan order" when chunks are combined in order.
+fn earlier_min(
+    a: Option<(usize, usize, f64)>,
+    b: Option<(usize, usize, f64)>,
+) -> Option<(usize, usize, f64)> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(if y.2 < x.2 { y } else { x }),
+        (x, y) => x.or(y),
     }
 }
 

@@ -92,13 +92,17 @@ impl MetaClustering {
     /// similarity graph and picks medoid representatives.
     fn group(&self, all: Vec<Clustering>) -> MetaClusteringResult {
         let n = all.len();
-        // Pairwise Rand similarities.
+        // Pairwise Rand similarities. Each strict upper-triangle row is
+        // independent, so rows compute in parallel (bit-identical at any
+        // thread count); the mirror pass below stays serial and cheap.
+        let upper: Vec<Vec<f64>> = multiclust_parallel::par_map_indexed(n, 1, |i| {
+            ((i + 1)..n).map(|j| rand_index(&all[i], &all[j])).collect()
+        });
         let mut sim = vec![vec![0.0f64; n]; n];
-        #[allow(clippy::needless_range_loop)] // symmetric fill by index pair
         for i in 0..n {
             sim[i][i] = 1.0;
-            for j in (i + 1)..n {
-                let s = rand_index(&all[i], &all[j]);
+            for (off, &s) in upper[i].iter().enumerate() {
+                let j = i + 1 + off;
                 sim[i][j] = s;
                 sim[j][i] = s;
             }

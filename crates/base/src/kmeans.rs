@@ -5,7 +5,7 @@ use multiclust_core::Clustering;
 use multiclust_data::Dataset;
 use multiclust_linalg::vector::sq_dist;
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 use crate::Clusterer;
 
@@ -72,18 +72,22 @@ impl KMeans {
 
     /// Runs k-means, returning the best of the configured restarts.
     ///
+    /// Each restart draws a seed from `rng` up front and runs on its own
+    /// generator, so restarts are independent and can execute in parallel;
+    /// the winner (lowest SSE, earliest restart on ties) is identical at
+    /// any thread count.
+    ///
     /// # Panics
     /// Panics when the dataset has fewer objects than `k`.
     pub fn fit(&self, data: &Dataset, rng: &mut StdRng) -> KMeansResult {
         assert!(data.len() >= self.k, "need at least k objects");
-        let mut best: Option<KMeansResult> = None;
-        for _ in 0..self.n_init {
-            let run = self.fit_once(data, rng);
-            if best.as_ref().is_none_or(|b| run.sse < b.sse) {
-                best = Some(run);
-            }
-        }
-        best.expect("n_init >= 1")
+        let seeds: Vec<u64> = (0..self.n_init).map(|_| rng.gen()).collect();
+        let runs = multiclust_parallel::par_map_indexed(self.n_init, 1, |r| {
+            self.fit_once(data, &mut StdRng::seed_from_u64(seeds[r]))
+        });
+        runs.into_iter()
+            .reduce(|best, run| if run.sse < best.sse { run } else { best })
+            .expect("n_init >= 1")
     }
 
     fn fit_once(&self, data: &Dataset, rng: &mut StdRng) -> KMeansResult {
@@ -92,12 +96,15 @@ impl KMeans {
         let d = data.dims();
         let mut labels = vec![0usize; n];
         let mut iterations = 0;
+        // Each object's nearest centre depends only on that object, so the
+        // assignment step parallelises with bit-identical labels.
+        let assign_chunk = (1usize << 14) / (self.k * d.max(1)).max(1) + 1;
         for it in 0..self.max_iter {
             iterations = it + 1;
             // Assignment step.
-            for (i, row) in data.rows().enumerate() {
-                labels[i] = nearest(row, &centroids).0;
-            }
+            labels = multiclust_parallel::par_map_indexed(n, assign_chunk, |i| {
+                nearest(data.row(i), &centroids).0
+            });
             // Update step.
             let mut sums = vec![vec![0.0; d]; self.k];
             let mut counts = vec![0usize; self.k];
@@ -127,9 +134,9 @@ impl KMeans {
             }
         }
         // Final assignment against the last centroids.
-        for (i, row) in data.rows().enumerate() {
-            labels[i] = nearest(row, &centroids).0;
-        }
+        labels = multiclust_parallel::par_map_indexed(n, assign_chunk, |i| {
+            nearest(data.row(i), &centroids).0
+        });
         let clustering = Clustering::from_labels(&labels);
         let sse = sum_of_squared_errors(data, &clustering);
         KMeansResult { clustering, centroids, sse, iterations }
@@ -162,12 +169,16 @@ pub fn nearest(row: &[f64], centers: &[Vec<f64>]) -> (usize, f64) {
 /// proportionally to squared distance from the nearest chosen centre.
 pub fn plus_plus_init(data: &Dataset, k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
     let n = data.len();
+    let d = data.dims();
+    // Per-object distance updates are elementwise, so they parallelise
+    // without changing any value; the weighted pick below stays serial
+    // (it is a cumulative scan).
+    let chunk = (1usize << 14) / d.max(1) + 1;
     let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
     centers.push(data.row(rng.gen_range(0..n)).to_vec());
-    let mut d2: Vec<f64> = data
-        .rows()
-        .map(|row| sq_dist(row, &centers[0]))
-        .collect();
+    let mut d2: Vec<f64> = multiclust_parallel::par_map_indexed(n, chunk, |i| {
+        sq_dist(data.row(i), &centers[0])
+    });
     while centers.len() < k {
         let total: f64 = d2.iter().sum();
         let next = if total <= 0.0 {
@@ -187,9 +198,10 @@ pub fn plus_plus_init(data: &Dataset, k: usize, rng: &mut StdRng) -> Vec<Vec<f64
             pick
         };
         centers.push(data.row(next).to_vec());
-        for (i, row) in data.rows().enumerate() {
-            d2[i] = d2[i].min(sq_dist(row, centers.last().expect("just pushed")));
-        }
+        let latest = centers.last().expect("just pushed");
+        d2 = multiclust_parallel::par_map_indexed(n, chunk, |i| {
+            d2[i].min(sq_dist(data.row(i), latest))
+        });
     }
     centers
 }

@@ -48,18 +48,32 @@ impl SpectralClustering {
     }
 
     /// The Gaussian affinity matrix `W` with zero diagonal.
+    ///
+    /// The serial path fills the upper triangle and mirrors it; the
+    /// parallel path computes full rows independently. Both yield the same
+    /// bits: `sq_dist(x, y) == sq_dist(y, x)` exactly in IEEE arithmetic,
+    /// so the mirrored value equals the directly computed one.
     pub fn affinity(&self, data: &Dataset) -> Matrix {
         let n = data.len();
         let denom = 2.0 * self.sigma * self.sigma;
-        let mut w = Matrix::zeros(n, n);
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let a = (-sq_dist(data.row(i), data.row(j)) / denom).exp();
-                w[(i, j)] = a;
-                w[(j, i)] = a;
+        if multiclust_parallel::current_threads() == 1 {
+            let mut w = Matrix::zeros(n, n);
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let a = (-sq_dist(data.row(i), data.row(j)) / denom).exp();
+                    w[(i, j)] = a;
+                    w[(j, i)] = a;
+                }
             }
+            return w;
         }
-        w
+        Matrix::par_from_fn(n, n, |i, j| {
+            if i == j {
+                0.0
+            } else {
+                (-sq_dist(data.row(i), data.row(j)) / denom).exp()
+            }
+        })
     }
 
     /// The spectral embedding: rows of the top-`k` eigenvectors of
@@ -67,18 +81,18 @@ impl SpectralClustering {
     pub fn embed(&self, data: &Dataset) -> Dataset {
         let n = data.len();
         let w = self.affinity(data);
-        // D^{-1/2}
-        let dinv_sqrt: Vec<f64> = (0..n)
-            .map(|i| {
+        // D^{-1/2}: per-row degree sums are independent, so they parallelise
+        // without changing the in-row summation order.
+        let dinv_sqrt: Vec<f64> =
+            multiclust_parallel::par_map_indexed(n, (1 << 14) / n.max(1) + 1, |i| {
                 let deg: f64 = (0..n).map(|j| w[(i, j)]).sum();
                 if deg > 0.0 {
                     1.0 / deg.sqrt()
                 } else {
                     0.0
                 }
-            })
-            .collect();
-        let norm_w = Matrix::from_fn(n, n, |i, j| dinv_sqrt[i] * w[(i, j)] * dinv_sqrt[j]);
+            });
+        let norm_w = Matrix::par_from_fn(n, n, |i, j| dinv_sqrt[i] * w[(i, j)] * dinv_sqrt[j]);
         // Top-k eigenvectors as embedding rows. For small n a full Jacobi
         // decomposition is cheap; beyond the limit, block power iteration
         // computes only the k needed vectors (the normalised affinity's

@@ -4,7 +4,8 @@
 //!   in the k-means assignment hot loop (the perf-book locality argument);
 //! * **pruning** — CLIQUE lattice search with vs without apriori pruning
 //!   (slide 71);
-//! * **parallel** — sequential vs crossbeam-parallel lattice evaluation.
+//! * **parallel** — sequential vs threaded lattice evaluation (the
+//!   `multiclust-parallel` scoped pool).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -86,7 +87,7 @@ fn bench_parallel_lattice(c: &mut Criterion) {
     group.bench_function("sequential", |b| {
         b.iter(|| black_box(Clique::new(6, 0.05).fit(black_box(&data))))
     });
-    group.bench_function("crossbeam_parallel", |b| {
+    group.bench_function("threaded_parallel", |b| {
         b.iter(|| {
             black_box(Clique::new(6, 0.05).with_parallel(true).fit(black_box(&data)))
         })

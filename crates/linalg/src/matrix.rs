@@ -8,6 +8,19 @@ use serde::{Deserialize, Serialize};
 
 use crate::EPS;
 
+/// Minimum number of scalar operations a parallel chunk should amortize;
+/// below this the serial loop wins on dispatch overhead alone. Fixed (never
+/// derived from the thread count) so chunk boundaries — and therefore
+/// results — are identical at every pool size.
+const PAR_GRAIN: usize = 1 << 16;
+
+/// Rows per parallel chunk for a kernel doing `work_per_row` scalar ops on
+/// each of `rows` output rows.
+fn par_row_chunk(rows: usize, work_per_row: usize) -> usize {
+    let min_rows = PAR_GRAIN.div_ceil(work_per_row.max(1));
+    rows.div_ceil(64).max(min_rows).max(1)
+}
+
 /// A dense, row-major `f64` matrix.
 ///
 /// Storage is a single flat `Vec<f64>` of length `rows * cols`; element
@@ -75,6 +88,30 @@ impl Matrix {
         m
     }
 
+    /// Creates a matrix by evaluating `f(i, j)` for every element, with row
+    /// blocks computed in parallel.
+    ///
+    /// `f` must be pure: every element is computed independently from its
+    /// indices alone, so the result is bit-identical to
+    /// [`Matrix::from_fn`] with the same `f` at any thread count.
+    pub fn par_from_fn(
+        rows: usize,
+        cols: usize,
+        f: impl Fn(usize, usize) -> f64 + Sync,
+    ) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        let chunk_rows = par_row_chunk(rows, cols);
+        multiclust_parallel::par_chunks_mut(&mut m.data, chunk_rows * cols.max(1), |start, block| {
+            let i0 = if cols == 0 { 0 } else { start / cols };
+            for (r, row) in block.chunks_mut(cols.max(1)).enumerate() {
+                for (j, x) in row.iter_mut().enumerate() {
+                    *x = f(i0 + r, j);
+                }
+            }
+        });
+        m
+    }
+
     /// Creates a diagonal matrix from the given diagonal entries.
     pub fn from_diag(diag: &[f64]) -> Self {
         let n = diag.len();
@@ -133,13 +170,22 @@ impl Matrix {
     }
 
     /// The transpose `Aᵀ`.
+    ///
+    /// Output rows are gathered independently (in parallel for large
+    /// matrices), so the result is identical at any thread count.
     pub fn transpose(&self) -> Self {
-        let mut t = Self::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                t[(j, i)] = self[(i, j)];
+        let (rows, cols) = (self.rows, self.cols);
+        let mut t = Self::zeros(cols, rows);
+        let chunk_rows = par_row_chunk(cols, rows);
+        multiclust_parallel::par_chunks_mut(&mut t.data, chunk_rows * rows, |start, out| {
+            let j0 = start / rows;
+            for (r, t_row) in out.chunks_mut(rows).enumerate() {
+                let j = j0 + r;
+                for (i, x) in t_row.iter_mut().enumerate() {
+                    *x = self.data[i * cols + j];
+                }
             }
-        }
+        });
         t
     }
 
@@ -149,31 +195,45 @@ impl Matrix {
     /// Panics on dimension mismatch.
     pub fn matmul(&self, rhs: &Self) -> Self {
         assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch");
-        let mut out = Self::zeros(self.rows, rhs.cols);
+        let out_cols = rhs.cols;
+        let mut out = Self::zeros(self.rows, out_cols);
         // i-k-j loop order keeps both `self` and `rhs` row accesses
-        // contiguous (perf-book: iterate in storage order).
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
+        // contiguous (perf-book: iterate in storage order). Each output
+        // row depends only on one row of `self`, so row blocks run in
+        // parallel with bit-identical results to the serial loop.
+        let chunk_rows = par_row_chunk(self.rows, self.cols.saturating_mul(out_cols));
+        multiclust_parallel::par_chunks_mut(
+            &mut out.data,
+            chunk_rows * out_cols.max(1),
+            |start, block| {
+                let i0 = if out_cols == 0 { 0 } else { start / out_cols };
+                for (r, out_row) in block.chunks_mut(out_cols.max(1)).enumerate() {
+                    let a_row = self.row(i0 + r);
+                    for (k, &a_ik) in a_row.iter().enumerate() {
+                        if a_ik == 0.0 {
+                            continue;
+                        }
+                        for (o, &b) in out_row.iter_mut().zip(rhs.row(k)) {
+                            *o += a_ik * b;
+                        }
+                    }
                 }
-                let b_row = rhs.row(k);
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a_ik * b;
-                }
-            }
-        }
+            },
+        );
         out
     }
 
     /// Matrix–vector product `self · v`.
+    ///
+    /// Per-row dot products are independent, so the parallel path matches
+    /// the serial one bit for bit.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, v.len(), "matvec dimension mismatch");
-        (0..self.rows)
-            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect()
+        multiclust_parallel::par_map_indexed(
+            self.rows,
+            PAR_GRAIN.div_ceil(self.cols.max(1)),
+            |i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum(),
+        )
     }
 
     /// `vᵀ · self` (row-vector times matrix).

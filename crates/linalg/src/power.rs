@@ -60,19 +60,15 @@ pub fn top_eigenpairs(
     let mut prev_rayleigh = vec![f64::INFINITY; k];
     for it in 0..max_iter {
         iterations = it + 1;
-        // block ← (A + shift·I) · block, column by column.
-        for col in block.iter_mut() {
-            let mut next = a.matvec(col);
-            if shift != 0.0 {
-                for (nx, &c) in next.iter_mut().zip(col.iter()) {
-                    *nx += shift * c;
-                }
-            }
-            *col = next;
-        }
+        // block ← (A + shift·I) · block, all columns in one row-parallel
+        // pass (row i of every product column needs only a.row(i)).
+        block = block_multiply(a, &block, shift);
         orthonormalize(&mut block);
-        // Convergence: Rayleigh quotients stabilise.
-        let rayleigh: Vec<f64> = block.iter().map(|v| dot(v, &a.matvec(v))).collect();
+        // Convergence: Rayleigh quotients stabilise. One more row-parallel
+        // block multiply gives all k matvecs at once.
+        let products = block_multiply(a, &block, 0.0);
+        let rayleigh: Vec<f64> =
+            block.iter().zip(&products).map(|(v, av)| dot(v, av)).collect();
         let moved = rayleigh
             .iter()
             .zip(&prev_rayleigh)
@@ -90,6 +86,31 @@ pub fn top_eigenpairs(
     let values: Vec<f64> = order.iter().map(|&i| prev_rayleigh[i]).collect();
     let vectors = Matrix::from_fn(n, k, |r, c| block[order[c]][r]);
     TopEigen { values, vectors, iterations }
+}
+
+/// One block multiply `(A + shift·I) · block`, row-parallel.
+///
+/// Row `i` of every product column depends only on `a.row(i)` and the old
+/// block, so rows split across threads with bit-identical results to the
+/// serial pass at any thread count.
+fn block_multiply(a: &Matrix, block: &[Vec<f64>], shift: f64) -> Vec<Vec<f64>> {
+    let n = a.rows();
+    let k = block.len();
+    let min_chunk = (1usize << 14).div_ceil(n.saturating_mul(k).max(1)).max(1);
+    let rows: Vec<Vec<f64>> = multiclust_parallel::par_map_indexed(n, min_chunk, |i| {
+        let a_row = a.row(i);
+        block
+            .iter()
+            .map(|col| {
+                let mut s: f64 = a_row.iter().zip(col.iter()).map(|(x, y)| x * y).sum();
+                if shift != 0.0 {
+                    s += shift * col[i];
+                }
+                s
+            })
+            .collect()
+    });
+    (0..k).map(|c| rows.iter().map(|r| r[c]).collect()).collect()
 }
 
 /// Modified Gram–Schmidt over a set of length-`n` vectors; degenerate

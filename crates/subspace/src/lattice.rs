@@ -11,7 +11,8 @@
 //!
 //! The driver is generic over the predicate, counts evaluated/pruned
 //! candidates (the E10 pruning-factor experiment), and can evaluate a
-//! level's candidates in parallel with `crossbeam` scoped threads.
+//! level's candidates in parallel via `multiclust-parallel`; the surviving
+//! set is identical to the sequential scan at any thread count.
 
 use std::collections::HashSet;
 
@@ -131,23 +132,11 @@ where
             .cloned()
             .collect();
     }
-    // Parallel evaluation: split candidates into per-thread chunks.
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4)
-        .min(candidates.len());
-    let chunk = candidates.len().div_ceil(threads);
-    let mut keep = vec![false; candidates.len()];
-    crossbeam::thread::scope(|scope| {
-        for (slot, cands) in keep.chunks_mut(chunk).zip(candidates.chunks(chunk)) {
-            scope.spawn(move |_| {
-                for (k, c) in slot.iter_mut().zip(cands) {
-                    *k = predicate(c);
-                }
-            });
-        }
-    })
-    .expect("lattice worker panicked");
+    // Parallel evaluation: each candidate's verdict depends only on the
+    // candidate itself, so the filtered set matches the sequential scan.
+    let keep = multiclust_parallel::par_map_indexed(candidates.len(), 4, |i| {
+        predicate(&candidates[i])
+    });
     candidates
         .iter()
         .zip(&keep)

@@ -220,8 +220,6 @@ impl Proclus {
         dims: &[Vec<usize>],
     ) -> (Vec<Option<usize>>, f64) {
         let n = data.len();
-        let mut assign: Vec<Option<usize>> = vec![None; n];
-        let mut cost = 0.0;
         // Outlier radius per medoid: distance to the nearest other medoid
         // (segmental, in its own dimensions).
         let radius: Vec<f64> = (0..self.k)
@@ -234,17 +232,28 @@ impl Proclus {
                     .fold(f64::INFINITY, f64::min)
             })
             .collect();
-        for (i, slot) in assign.iter_mut().enumerate() {
-            let mut best = (usize::MAX, f64::INFINITY);
-            for m in 0..self.k {
-                let sd = segmental(data.row(i), data.row(medoids[m]), &dims[m]);
-                if sd < best.1 {
-                    best = (m, sd);
+        // Each object's nearest medoid is independent, so the segmental
+        // scan parallelises; the cost sum folds serially in object order
+        // afterwards, keeping it bit-identical at any thread count.
+        let chunk = (1usize << 12) / (self.k * self.l).max(1) + 1;
+        let per_object: Vec<Option<(usize, f64)>> =
+            multiclust_parallel::par_map_indexed(n, chunk, |i| {
+                let mut best = (usize::MAX, f64::INFINITY);
+                for m in 0..self.k {
+                    let sd = segmental(data.row(i), data.row(medoids[m]), &dims[m]);
+                    if sd < best.1 {
+                        best = (m, sd);
+                    }
                 }
-            }
-            if best.1.is_finite() && best.1 <= radius[best.0].max(f64::MIN_POSITIVE) {
-                *slot = Some(best.0);
-                cost += best.1;
+                (best.1.is_finite() && best.1 <= radius[best.0].max(f64::MIN_POSITIVE))
+                    .then_some(best)
+            });
+        let mut assign: Vec<Option<usize>> = vec![None; n];
+        let mut cost = 0.0;
+        for (slot, found) in assign.iter_mut().zip(&per_object) {
+            if let Some((m, sd)) = found {
+                *slot = Some(*m);
+                cost += sd;
             }
         }
         (assign, cost)

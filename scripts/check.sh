@@ -1,0 +1,6 @@
+#!/usr/bin/env sh
+# Tier-1 gate: release build + full test suite, fully offline.
+set -eu
+cd "$(dirname "$0")/.."
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace

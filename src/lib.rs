@@ -35,7 +35,7 @@
 //! use multiclust::core::measures::diss::adjusted_rand_index;
 //!
 //! // Four blobs on a square admit two orthogonal 2-partitions.
-//! let mut rng = seeded_rng(7);
+//! let mut rng = seeded_rng(5);
 //! let blobs = four_blob_square(50, 10.0, 0.8, &mut rng);
 //!
 //! // Ask Dec-kMeans for two decorrelated clusterings simultaneously.
@@ -54,6 +54,7 @@ pub use multiclust_data as data;
 pub use multiclust_linalg as linalg;
 pub use multiclust_multiview as multiview;
 pub use multiclust_orthogonal as orthogonal;
+pub use multiclust_parallel as parallel;
 pub use multiclust_subspace as subspace;
 
 /// One-stop prelude for examples and downstream users.

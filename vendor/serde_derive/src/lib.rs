@@ -1,0 +1,316 @@
+//! Offline derive macros for the vendored `serde` stand-in.
+//!
+//! Parses the item's token stream directly (no `syn`/`quote` available
+//! offline) and emits `Serialize`/`Deserialize` impls for the shapes this
+//! workspace uses:
+//!
+//! * structs with named fields  → JSON object, fields in declaration order
+//! * tuple structs              → newtype transparently, otherwise array
+//! * fieldless enums            → variant name as a string
+//!
+//! Generics, data-carrying enum variants and `#[serde(...)]` attributes are
+//! deliberately unsupported and fail with a compile error naming the
+//! offender.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct: number of fields.
+    Tuple(usize),
+    /// Fieldless enum: variant identifiers.
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push((String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\
+                 {pushes} ::serde::Value::Object(fields)"
+            )
+        }
+        Shape::Tuple(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{}::{v} => \"{v}\",", item.name))
+                .collect();
+            format!(
+                "::serde::Value::String(String::from(match self {{ {arms} }}))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {} {{\
+             fn serialize_value(&self) -> ::serde::Value {{ {body} }}\
+         }}",
+        item.name
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize_value(\
+                         ::serde::object_field(fields, \"{f}\")?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{\
+                     ::serde::Value::Object(fields) => Ok({name} {{ {inits} }}),\
+                     _ => Err(::serde::Error::custom(\
+                         \"expected object for struct {name}\")),\
+                 }}"
+            )
+        }
+        Shape::Tuple(1) => format!(
+            "Ok({name}(::serde::Deserialize::deserialize_value(v)?))"
+        ),
+        Shape::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!("::serde::Deserialize::deserialize_value(&items[{i}])?")
+                })
+                .collect();
+            format!(
+                "match v {{\
+                     ::serde::Value::Array(items) if items.len() == {n} => \
+                         Ok({name}({inits})),\
+                     _ => Err(::serde::Error::custom(\
+                         \"expected {n}-element array for struct {name}\")),\
+                 }}",
+                inits = inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("Some(\"{v}\") => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "match v.as_str() {{\
+                     {arms}\
+                     _ => Err(::serde::Error::custom(\
+                         \"unknown variant for enum {name}\")),\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\
+             fn deserialize_value(v: &::serde::Value) \
+                 -> Result<Self, ::serde::Error> {{ {body} }}\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+// ---- token-level parsing ---------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&tokens, &mut pos);
+
+    let kind = match &tokens[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("derive: expected `struct` or `enum`, found {other}"),
+    };
+    pos += 1;
+    let name = match &tokens[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("derive: expected item name, found {other}"),
+    };
+    pos += 1;
+
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive on `{name}`: generic types are not supported by the vendored serde");
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                shape: Shape::Struct(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item {
+                    name,
+                    shape: Shape::Tuple(count_tuple_fields(g.stream())),
+                }
+            }
+            other => panic!("derive on `{name}`: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                name,
+                shape: Shape::Enum(parse_unit_variants(g.stream())),
+            },
+            other => panic!("derive on `{name}`: unsupported enum body {other:?}"),
+        },
+        other => panic!("derive: expected `struct` or `enum`, found `{other}`"),
+    }
+}
+
+/// Advances past `#[...]` attributes (including doc comments) and a
+/// `pub` / `pub(...)` visibility prefix.
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1; // '#'
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Bracket)
+                {
+                    *pos += 1; // [...]
+                }
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                *pos += 1; // 'pub'
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1; // '(crate)' etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a named-field struct body, in declaration order.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[pos] {
+            TokenTree::Ident(i) => i.to_string(),
+            other => panic!("derive: expected field name, found {other}"),
+        };
+        pos += 1;
+        match &tokens[pos] {
+            TokenTree::Punct(p) if p.as_char() == ':' => pos += 1,
+            other => panic!("derive: expected `:` after `{field}`, found {other}"),
+        }
+        // Consume the type: everything until a comma at angle-bracket
+        // depth 0. Parens/brackets arrive as whole groups, so only `<`/`>`
+        // need explicit depth tracking.
+        let mut depth = 0i32;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut fields = 1;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => fields += 1,
+            _ => {}
+        }
+    }
+    // Tolerate a trailing comma.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        fields -= 1;
+    }
+    fields
+}
+
+/// Variant names of a fieldless enum body.
+fn parse_unit_variants(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let variant = match &tokens[pos] {
+            TokenTree::Ident(i) => i.to_string(),
+            other => panic!("derive: expected variant name, found {other}"),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+            Some(TokenTree::Group(_)) => panic!(
+                "derive: variant `{variant}` carries data — unsupported by the \
+                 vendored serde"
+            ),
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip the expression.
+                pos += 1;
+                while pos < tokens.len()
+                    && !matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == ',')
+                {
+                    pos += 1;
+                }
+                pos += 1;
+            }
+            Some(other) => panic!("derive: unexpected token {other} after variant"),
+        }
+        variants.push(variant);
+    }
+    variants
+}

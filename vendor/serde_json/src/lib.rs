@@ -1,0 +1,427 @@
+//! Offline stand-in for `serde_json`: text format over the vendored
+//! `serde` value model.
+//!
+//! Floats print through Rust's shortest-roundtrip `Display`, so
+//! `to_string` → `from_str` preserves every `f64` bit pattern the
+//! workspace serializes (the `float_roundtrip` feature of the real crate
+//! is the default here).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+
+pub use serde::{Error, Value};
+
+/// Serializes `value` to compact JSON.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_value());
+    Ok(out)
+}
+
+/// Serializes `value` to indented JSON.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value_pretty(&mut out, &value.serialize_value(), 0);
+    Ok(out)
+}
+
+/// Parses a typed value out of a JSON string.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    T::deserialize_value(&value)
+}
+
+// ---- writer ----------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Float(f) => write_f64(out, *f),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (k, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, k);
+                out.push(':');
+                write_value(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_value_pretty(out: &mut String, v: &Value, indent: usize) {
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_value_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Object(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_escaped(out, k);
+                out.push_str(": ");
+                write_value_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+        other => write_value(out, other),
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_f64(out: &mut String, f: f64) {
+    if f.is_finite() {
+        // Rust's Display is shortest-roundtrip; ensure a decimal point or
+        // exponent survives so the token stays a float on re-parse.
+        let s = format!("{f}");
+        out.push_str(&s);
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    } else {
+        // JSON has no Inf/NaN; mirror serde_json's `null`.
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- parser ----------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parses a JSON document into a [`Value`] tree.
+pub fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::custom("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(Error::custom(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null").map(|()| Value::Null),
+            Some(b't') => self.literal("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.literal("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(Error::custom(format!("unexpected byte at {}", self.pos))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::custom("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(Error::custom("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::custom("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0c}'),
+                        Some(b'u') => {
+                            let cp = self.unicode_escape()?;
+                            out.push(cp);
+                            continue;
+                        }
+                        _ => return Err(Error::custom("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input came from &str, so
+                    // boundaries are valid).
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len()
+                        && (self.bytes[end] & 0xc0) == 0x80
+                    {
+                        end += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| Error::custom("invalid UTF-8"))?,
+                    );
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    /// Parses the 4 hex digits after `\u` (surrogate pairs supported);
+    /// leaves `pos` just past the escape.
+    fn unicode_escape(&mut self) -> Result<char, Error> {
+        self.pos += 1; // 'u'
+        let hi = self.hex4()?;
+        if (0xd800..0xdc00).contains(&hi) {
+            self.literal("\\u")?;
+            let lo = self.hex4()?;
+            let cp = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+            char::from_u32(cp).ok_or_else(|| Error::custom("invalid surrogate pair"))
+        } else {
+            char::from_u32(hi).ok_or_else(|| Error::custom("invalid \\u escape"))
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::custom("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::custom("invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16)
+            .map_err(|_| Error::custom("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::custom("invalid number"))
+        } else {
+            // Integers that overflow i64 fall back to f64 (never produced
+            // by this workspace, but keeps the parser total).
+            text.parse::<i64>().map(Value::Int).or_else(|_| {
+                text.parse::<f64>()
+                    .map(Value::Float)
+                    .map_err(|_| Error::custom("invalid number"))
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_nested_values() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Array(vec![Value::Int(1), Value::Null])),
+            ("b".into(), Value::Float(1.5)),
+            ("s".into(), Value::String("x\"\\\n✓".into())),
+            ("neg".into(), Value::Float(-0.125)),
+            ("t".into(), Value::Bool(true)),
+        ]);
+        let mut s = String::new();
+        write_value(&mut s, &v);
+        assert_eq!(parse_value(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn float_text_roundtrips_bits() {
+        for &f in &[0.1, 1.0 / 3.0, 6.02e23, -1e-12, 3.0] {
+            let mut s = String::new();
+            write_f64(&mut s, f);
+            let back = s.parse::<f64>().unwrap();
+            assert_eq!(back.to_bits(), f.to_bits(), "{s}");
+        }
+    }
+
+    #[test]
+    fn typed_roundtrip_through_derive_free_impls() {
+        let data: Vec<Option<usize>> = vec![Some(3), None, Some(0)];
+        let json = to_string(&data).unwrap();
+        let back: Vec<Option<usize>> = from_str(&json).unwrap();
+        assert_eq!(data, back);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v: Vec<Vec<f64>> = vec![vec![1.0, 2.5], vec![-3.0]];
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains('\n'));
+        let back: Vec<Vec<f64>> = from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+}
