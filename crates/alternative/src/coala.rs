@@ -73,6 +73,7 @@ impl Coala {
     ) -> CoalaResult {
         let n = data.len();
         assert!(n >= self.k, "need at least k objects");
+        let _span = multiclust_telemetry::span("coala.fit");
         let mut groups: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
         let mut quality_merges = 0;
         let mut dissimilarity_merges = 0;
@@ -115,19 +116,40 @@ impl Coala {
             // Choose the merge per slide 32: quality iff d_qual < w·d_diss;
             // if no admissible dissimilarity merge exists, quality merges
             // are all that is left.
-            let (i, j) = match diss {
+            let (i, j, took_quality) = match diss {
                 Some((di, dj, d_diss)) if d_qual >= self.w * d_diss => {
                     dissimilarity_merges += 1;
-                    (di, dj)
+                    (di, dj, false)
                 }
                 _ => {
                     quality_merges += 1;
-                    (qi, qj)
+                    (qi, qj, true)
                 }
             };
+            // Merge-decision trace: d_diss is −1 when no admissible
+            // dissimilarity merge existed (every pair spans a cannot-link).
+            if multiclust_telemetry::enabled() {
+                let step = (n - groups.len()) as f64;
+                let d_diss = diss.map_or(-1.0, |(_, _, d)| d);
+                multiclust_telemetry::event(
+                    "coala.merge",
+                    &[
+                        ("step", step),
+                        ("d_qual", d_qual),
+                        ("d_diss", d_diss),
+                        ("w_d_diss", if d_diss < 0.0 { -1.0 } else { self.w * d_diss }),
+                        ("quality", f64::from(took_quality)),
+                    ],
+                );
+            }
             let merged = groups.swap_remove(j);
             groups[i].extend(merged);
         }
+        multiclust_telemetry::counter_add("coala.quality_merges", quality_merges as u64);
+        multiclust_telemetry::counter_add(
+            "coala.dissimilarity_merges",
+            dissimilarity_merges as u64,
+        );
 
         CoalaResult {
             clustering: Clustering::from_members(n, &groups),

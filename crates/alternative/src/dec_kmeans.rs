@@ -86,6 +86,7 @@ impl DecKMeans {
     /// # Panics
     /// Panics when the dataset has fewer objects than `max(ks)`.
     pub fn fit(&self, data: &Dataset, rng: &mut StdRng) -> DecKMeansResult {
+        let _span = multiclust_telemetry::span("dec_kmeans.fit");
         let n = data.len();
         let d = data.dims();
         let t_count = self.ks.len();
@@ -164,10 +165,26 @@ impl DecKMeans {
                 }
             }
 
+            // Objective trace: G after this alternation round. The means
+            // are recomputed from state that already exists; nothing the
+            // algorithm later reads is touched.
+            if multiclust_telemetry::enabled() {
+                let g = self.objective(&centred, &labels, &reps, &means);
+                multiclust_telemetry::event(
+                    "dec_kmeans.iter",
+                    &[
+                        ("iter", it as f64),
+                        ("objective", g),
+                        ("changed", f64::from(changed)),
+                    ],
+                );
+            }
+
             if !changed && it > 0 {
                 break;
             }
         }
+        multiclust_telemetry::counter_add("dec_kmeans.iterations", iterations as u64);
 
         // Final assignments and objective.
         for (t, rep_t) in reps.iter().enumerate() {

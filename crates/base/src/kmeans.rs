@@ -81,16 +81,27 @@ impl KMeans {
     /// Panics when the dataset has fewer objects than `k`.
     pub fn fit(&self, data: &Dataset, rng: &mut StdRng) -> KMeansResult {
         assert!(data.len() >= self.k, "need at least k objects");
+        let _span = multiclust_telemetry::span("kmeans.fit");
+        multiclust_telemetry::counter_add("kmeans.restarts", self.n_init as u64);
         let seeds: Vec<u64> = (0..self.n_init).map(|_| rng.gen()).collect();
         let runs = multiclust_parallel::par_map_indexed(self.n_init, 1, |r| {
-            self.fit_once(data, &mut StdRng::seed_from_u64(seeds[r]))
+            self.fit_once(data, &mut StdRng::seed_from_u64(seeds[r]), r)
         });
-        runs.into_iter()
+        let best = runs
+            .into_iter()
             .reduce(|best, run| if run.sse < best.sse { run } else { best })
-            .expect("n_init >= 1")
+            .expect("n_init >= 1");
+        multiclust_telemetry::counter_add("kmeans.iterations", best.iterations as u64);
+        if multiclust_telemetry::enabled() {
+            multiclust_telemetry::event(
+                "kmeans.done",
+                &[("sse", best.sse), ("iterations", best.iterations as f64)],
+            );
+        }
+        best
     }
 
-    fn fit_once(&self, data: &Dataset, rng: &mut StdRng) -> KMeansResult {
+    fn fit_once(&self, data: &Dataset, rng: &mut StdRng, restart: usize) -> KMeansResult {
         let mut centroids = plus_plus_init(data, self.k, rng);
         let n = data.len();
         let d = data.dims();
@@ -105,6 +116,23 @@ impl KMeans {
             labels = multiclust_parallel::par_map_indexed(n, assign_chunk, |i| {
                 nearest(data.row(i), &centroids).0
             });
+            // Convergence trace: the k-means objective (inertia) of the
+            // fresh assignment against the centroids it was made with.
+            // Computed only when telemetry records — it reads state, never
+            // changes it, so results are identical either way.
+            if multiclust_telemetry::enabled() {
+                let inertia: f64 = (0..n)
+                    .map(|i| sq_dist(data.row(i), &centroids[labels[i]]))
+                    .sum();
+                multiclust_telemetry::event(
+                    "kmeans.iter",
+                    &[
+                        ("restart", restart as f64),
+                        ("iter", it as f64),
+                        ("inertia", inertia),
+                    ],
+                );
+            }
             // Update step.
             let mut sums = vec![vec![0.0; d]; self.k];
             let mut counts = vec![0usize; self.k];

@@ -79,8 +79,12 @@ impl SpectralClustering {
     /// The spectral embedding: rows of the top-`k` eigenvectors of
     /// `D^{-1/2} W D^{-1/2}`, row-normalised.
     pub fn embed(&self, data: &Dataset) -> Dataset {
+        let _span = multiclust_telemetry::span("spectral.embed");
         let n = data.len();
-        let w = self.affinity(data);
+        let w = {
+            let _span = multiclust_telemetry::span("affinity");
+            self.affinity(data)
+        };
         // D^{-1/2}: per-row degree sums are independent, so they parallelise
         // without changing the in-row summation order.
         let dinv_sqrt: Vec<f64> =
@@ -123,6 +127,7 @@ impl SpectralClustering {
 
     /// Clusters the dataset through the spectral embedding.
     pub fn fit(&self, data: &Dataset, rng: &mut StdRng) -> Clustering {
+        let _span = multiclust_telemetry::span("spectral.fit");
         let embedded = self.embed(data);
         KMeans::new(self.k)
             .with_restarts(4)

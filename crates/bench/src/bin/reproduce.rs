@@ -5,8 +5,33 @@
 //! reproduce e13        # one experiment
 //! reproduce list       # available ids
 //! ```
+//!
+//! With telemetry enabled (`MULTICLUST_TELEMETRY=1`), every experiment is
+//! followed by a per-experiment metrics section on **stderr** — spans,
+//! counters and convergence-event digests recorded while it ran — so the
+//! report on stdout stays diffable against previous runs.
 
 use std::process::ExitCode;
+
+/// Runs one experiment; when telemetry is on, scopes the registry to this
+/// experiment and prints its metrics section to stderr.
+fn run_with_metrics(id: &str) -> Option<String> {
+    let telemetry = multiclust_telemetry::enabled();
+    if telemetry {
+        multiclust_telemetry::reset();
+    }
+    let report = multiclust_bench::run(id)?;
+    if telemetry {
+        eprint!(
+            "{}",
+            multiclust_bench::report::section(
+                &format!("telemetry: {id}"),
+                multiclust_telemetry::snapshot().to_text().trim_end(),
+            )
+        );
+    }
+    Some(report)
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,9 +50,9 @@ fn main() -> ExitCode {
     for arg in &args {
         if arg == "all" {
             for (id, _) in multiclust_bench::EXPERIMENTS {
-                print!("{}", multiclust_bench::run(id).expect("registered id"));
+                print!("{}", run_with_metrics(id).expect("registered id"));
             }
-        } else if let Some(report) = multiclust_bench::run(arg) {
+        } else if let Some(report) = run_with_metrics(arg) {
             print!("{report}");
         } else {
             eprintln!("unknown experiment id: {arg} (try `reproduce list`)");

@@ -56,6 +56,7 @@ pub fn top_eigenpairs(
         .collect();
     orthonormalize(&mut block);
 
+    let _span = multiclust_telemetry::span("power.top_eigenpairs");
     let mut iterations = 0;
     let mut prev_rayleigh = vec![f64::INFINITY; k];
     for it in 0..max_iter {
@@ -75,10 +76,19 @@ pub fn top_eigenpairs(
             .map(|(r, p)| (r - p).abs())
             .fold(0.0f64, f64::max);
         prev_rayleigh = rayleigh;
+        // Convergence trace: the residual is the largest Rayleigh-quotient
+        // movement this sweep (what the stopping rule tests).
+        if multiclust_telemetry::enabled() {
+            multiclust_telemetry::event(
+                "power.iter",
+                &[("iter", it as f64), ("residual", moved)],
+            );
+        }
         if moved <= tol {
             break;
         }
     }
+    multiclust_telemetry::counter_add("power.iterations", iterations as u64);
 
     // Sort by descending Rayleigh quotient (eigenvalue of A).
     let mut order: Vec<usize> = (0..k).collect();

@@ -22,6 +22,12 @@
 //! the plain serial loop inline. Nested calls from inside a worker also run
 //! inline (no oversubscription, no deadlock). A panic in any closure is
 //! propagated to the caller after all sibling workers finish.
+//!
+//! When `multiclust-telemetry` is enabled the pool reports task counts
+//! (`parallel.tasks`, `parallel.regions.{serial,fanout}`) and per-worker
+//! busy time (`parallel.worker.<i>.busy_ns` counters plus a
+//! `parallel.worker_busy_ns` histogram), so utilization is measurable;
+//! when disabled this costs one relaxed atomic load per region.
 
 #![forbid(unsafe_code)]
 
@@ -30,6 +36,8 @@ use std::panic::resume_unwind;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
+
+use multiclust_telemetry as telemetry;
 
 /// Soft upper bound on the number of chunks a call fans out into. Fixed so
 /// chunk boundaries never depend on the thread count.
@@ -102,11 +110,15 @@ where
 
     thread::scope(|s| {
         let workers: Vec<_> = (1..threads.min(n_chunks))
-            .map(|_| {
-                s.spawn(|| {
+            .map(|w| {
+                s.spawn(move || {
                     IN_PARALLEL_REGION.with(|f| f.set(true));
+                    let started = telemetry::enabled().then(std::time::Instant::now);
                     let mut local = Vec::new();
                     drain(&mut local);
+                    if let Some(t0) = started {
+                        record_busy(w, t0.elapsed());
+                    }
                     IN_PARALLEL_REGION.with(|f| f.set(false));
                     local
                 })
@@ -114,10 +126,14 @@ where
             .collect();
 
         let caller_was_inside = IN_PARALLEL_REGION.with(|f| f.replace(true));
+        let started = telemetry::enabled().then(std::time::Instant::now);
         let mut local = Vec::new();
         let caller_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             drain(&mut local);
         }));
+        if let Some(t0) = started {
+            record_busy(0, t0.elapsed());
+        }
         IN_PARALLEL_REGION.with(|f| f.set(caller_was_inside));
         for (i, a) in local {
             slots[i] = Some(a);
@@ -143,7 +159,47 @@ where
         }
     });
 
-    slots.into_iter().map(|s| s.expect("all chunks completed")).collect()
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            s.unwrap_or_else(|| {
+                panic!(
+                    "multiclust-parallel: chunk {i} of {n_chunks} produced no \
+                     result although every worker joined without panicking — \
+                     this is a bug in the chunk-claiming logic"
+                )
+            })
+        })
+        .collect()
+}
+
+/// Records pool-utilization telemetry for one participant of a parallel
+/// region: `worker` 0 is the calling thread, 1.. are spawned workers.
+/// Only called when telemetry is enabled.
+fn record_busy(worker: usize, busy: std::time::Duration) {
+    let ns = u64::try_from(busy.as_nanos()).unwrap_or(u64::MAX);
+    telemetry::counter_add(&format!("parallel.worker.{worker}.busy_ns"), ns);
+    telemetry::histogram_record("parallel.worker_busy_ns", ns);
+}
+
+/// Counts one parallel-primitive invocation: total task (chunk) count plus
+/// which path — `serial` covers the inline loop (1 thread, 1 chunk or a
+/// nested call), `fanout` the multi-threaded dispatch through
+/// [`run_chunks`]. One branch on the telemetry switch when disabled.
+fn record_region(n_chunks: usize, serial_path: bool) {
+    if !telemetry::enabled() {
+        return;
+    }
+    telemetry::counter_add("parallel.tasks", n_chunks as u64);
+    telemetry::counter_add(
+        if serial_path {
+            "parallel.regions.serial"
+        } else {
+            "parallel.regions.fanout"
+        },
+        1,
+    );
 }
 
 /// True when this call should take the inline serial path.
@@ -165,8 +221,10 @@ where
     let clen = chunk_len(n, min_chunk);
     let n_chunks = n.div_ceil(clen.max(1)).max(1);
     if serial(current_threads(), n_chunks) {
+        record_region(n_chunks, true);
         return (0..n).map(f).collect();
     }
+    record_region(n_chunks, false);
     let per_chunk = run_chunks(n_chunks, current_threads(), |c| {
         let lo = c * clen;
         let hi = (lo + clen).min(n);
@@ -195,12 +253,14 @@ where
         return Vec::new();
     }
     if serial(current_threads(), n_chunks) {
+        record_region(n_chunks, true);
         return data
             .chunks(chunk)
             .enumerate()
             .map(|(c, slice)| f(c * chunk, slice))
             .collect();
     }
+    record_region(n_chunks, false);
     run_chunks(n_chunks, current_threads(), |c| {
         let lo = c * chunk;
         let hi = (lo + chunk).min(data.len());
@@ -223,11 +283,13 @@ where
     let n_chunks = data.len().div_ceil(chunk).max(1);
     let threads = current_threads();
     if serial(threads, n_chunks) {
+        record_region(n_chunks, true);
         for (c, slice) in data.chunks_mut(chunk).enumerate() {
             f(c * chunk, slice);
         }
         return;
     }
+    record_region(n_chunks, false);
     // A shared queue of (start, slice) hands each disjoint chunk to exactly
     // one thread — mutability without unsafe index arithmetic.
     let queue: Mutex<Vec<(usize, &mut [T])>> = Mutex::new(
@@ -265,8 +327,10 @@ where
     let n_chunks = n.div_ceil(clen).max(1);
     let ranges = (0..n_chunks).map(|c| (c * clen)..((c + 1) * clen).min(n));
     let accs: Vec<A> = if serial(current_threads(), n_chunks) {
+        record_region(n_chunks, true);
         ranges.map(&map).collect()
     } else {
+        record_region(n_chunks, false);
         let ranges: Vec<Range<usize>> = ranges.collect();
         run_chunks(n_chunks, current_threads(), |c| map(ranges[c].clone()))
     };
@@ -380,7 +444,7 @@ mod tests {
                     |r| r.map(|i| vals[i]).sum::<f64>(),
                     |a, b| a + b,
                 )
-                .unwrap()
+                .expect("n > 0, so the reduce yields a value")
             })
         };
         let one = reduce(1);

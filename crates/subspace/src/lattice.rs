@@ -47,6 +47,7 @@ pub fn bottom_up_search<F>(d: usize, predicate: F, parallel: bool) -> LatticeRes
 where
     F: Fn(&[usize]) -> bool + Sync,
 {
+    let _span = multiclust_telemetry::span("lattice.bottom_up_search");
     let mut stats = LatticeStats::default();
     let mut surviving: Vec<Vec<usize>> = Vec::new();
 
@@ -55,9 +56,12 @@ where
     let mut frontier = evaluate_level(&level1, &predicate, parallel, &mut stats);
     stats.max_level = usize::from(!frontier.is_empty());
     surviving.extend(frontier.iter().cloned());
+    record_level(1, d, 0, frontier.len());
 
     // Higher levels.
+    let mut level = 1;
     while !frontier.is_empty() {
+        level += 1;
         let candidates = join_candidates(&frontier);
         if candidates.is_empty() {
             break;
@@ -67,19 +71,27 @@ where
         let survivor_set: HashSet<&[usize]> =
             frontier.iter().map(|s| s.as_slice()).collect();
         let mut to_evaluate = Vec::new();
+        let mut pruned_here = 0;
         for cand in candidates {
             if all_subsets_survive(&cand, &survivor_set) {
                 to_evaluate.push(cand);
             } else {
-                stats.pruned_by_apriori += 1;
+                pruned_here += 1;
             }
         }
+        stats.pruned_by_apriori += pruned_here;
         frontier = evaluate_level(&to_evaluate, &predicate, parallel, &mut stats);
+        record_level(level, to_evaluate.len(), pruned_here, frontier.len());
         if !frontier.is_empty() {
             stats.max_level += 1;
             surviving.extend(frontier.iter().cloned());
         }
     }
+    multiclust_telemetry::counter_add("lattice.evaluated", stats.evaluated as u64);
+    multiclust_telemetry::counter_add(
+        "lattice.pruned_by_apriori",
+        stats.pruned_by_apriori as u64,
+    );
 
     LatticeResult { subspaces: surviving, stats }
 }
@@ -110,6 +122,22 @@ where
     }
     surviving.sort_by(|a, b| (a.len(), a.as_slice()).cmp(&(b.len(), b.as_slice())));
     LatticeResult { subspaces: surviving, stats }
+}
+
+/// Emits one `lattice.level` event: candidates evaluated against the data,
+/// candidates pruned by the apriori subset check, and survivors.
+fn record_level(level: usize, evaluated: usize, pruned: usize, survivors: usize) {
+    if multiclust_telemetry::enabled() {
+        multiclust_telemetry::event(
+            "lattice.level",
+            &[
+                ("level", level as f64),
+                ("evaluated", evaluated as f64),
+                ("pruned_by_apriori", pruned as f64),
+                ("survivors", survivors as f64),
+            ],
+        );
+    }
 }
 
 fn evaluate_level<F>(

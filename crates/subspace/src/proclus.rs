@@ -64,6 +64,7 @@ impl Proclus {
     /// # Panics
     /// Panics when `n < k` or `l > d`.
     pub fn fit(&self, data: &Dataset, rng: &mut StdRng) -> ProclusResult {
+        let _span = multiclust_telemetry::span("proclus.fit");
         let n = data.len();
         let d = data.dims();
         assert!(n >= self.k, "need at least k objects");
@@ -78,9 +79,22 @@ impl Proclus {
             .collect();
         let mut best: Option<BestState> = None;
 
-        for _ in 0..self.max_iter {
+        for it in 0..self.max_iter {
             let dims = self.find_dimensions(data, &medoids);
             let (assign, cost) = self.assign(data, &medoids, &dims);
+            // Hill-climb trace: candidate cost and how many objects fell
+            // out as outliers under this medoid set.
+            if multiclust_telemetry::enabled() {
+                let outliers = assign.iter().filter(|a| a.is_none()).count();
+                multiclust_telemetry::event(
+                    "proclus.iter",
+                    &[
+                        ("iter", it as f64),
+                        ("cost", cost),
+                        ("outliers", outliers as f64),
+                    ],
+                );
+            }
             if best.as_ref().is_none_or(|(bc, ..)| cost < *bc) {
                 best = Some((cost, medoids.clone(), dims, assign));
             }
@@ -113,6 +127,11 @@ impl Proclus {
         let refined_dims = self.refine_dimensions(data, &medoids, &assign);
         let (assign, _) = self.assign(data, &medoids, &refined_dims);
 
+        if multiclust_telemetry::enabled() {
+            let outliers = assign.iter().filter(|a| a.is_none()).count() as u64;
+            multiclust_telemetry::counter_add("proclus.assigned", n as u64 - outliers);
+            multiclust_telemetry::counter_add("proclus.outliers", outliers);
+        }
         let clustering = Clustering::from_options(assign);
         let as_subspace_clusters = clustering
             .members()

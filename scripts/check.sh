@@ -4,3 +4,23 @@ set -eu
 cd "$(dirname "$0")/.."
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
+
+# Second pass with telemetry globally enabled: instrumentation must never
+# change a single result, so the identical suite has to stay green.
+MULTICLUST_TELEMETRY=1 cargo test -q --offline --workspace
+
+# CLI telemetry smoke: stdout byte-identical with and without the flag,
+# stderr carries a valid report.
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+printf '1,2\n1.1,2.1\n0.9,1.9\n8,9\n8.1,9.2\n7.9,8.8\n4,0\n4.1,0.2\n' > "$tmp/data.csv"
+./target/release/multiclust kmeans --input "$tmp/data.csv" --k 3 --seed 1 \
+    > "$tmp/plain.csv" 2> "$tmp/plain.err"
+./target/release/multiclust kmeans --input "$tmp/data.csv" --k 3 --seed 1 \
+    --telemetry=json > "$tmp/traced.csv" 2> "$tmp/traced.json"
+cmp "$tmp/plain.csv" "$tmp/traced.csv"
+test ! -s "$tmp/plain.err"
+grep -q '"spans"' "$tmp/traced.json"
+grep -q 'kmeans.iter' "$tmp/traced.json"
+grep -q 'parallel.tasks' "$tmp/traced.json"
+echo "check.sh: all gates passed"

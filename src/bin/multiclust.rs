@@ -49,8 +49,10 @@ commands:
                [--select none|osclu|rescu|statpc] [--beta <f>] [--alpha <f>]
   compare      --a <labels.csv> --b <labels.csv>
 
-common flags: --header   first CSV line is a header row
-              --seed <n> RNG seed (default 42)
+common flags: --header            first CSV line is a header row
+              --seed <n>          RNG seed (default 42)
+              --telemetry[=json]  report spans/counters/convergence traces
+                                  on stderr (stdout stays pipeable CSV)
 
 output: CSV on stdout — one column per solution, label per object,
         -1 for noise; `subspace` prints one cluster per line instead;
@@ -73,6 +75,9 @@ fn main() -> ExitCode {
 /// Parsed flag map: `--key value` pairs plus boolean `--header`.
 struct Flags(HashMap<String, String>);
 
+/// Flags taking no value: bare `--flag` means "true".
+const BOOLEAN_FLAGS: &[&str] = &["header", "telemetry"];
+
 impl Flags {
     fn parse(args: &[String]) -> Result<Self, String> {
         let mut map = HashMap::new();
@@ -81,7 +86,11 @@ impl Flags {
             let key = args[i]
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected a --flag, got {:?}", args[i]))?;
-            if key == "header" {
+            if let Some((key, value)) = key.split_once('=') {
+                // `--key=value` form.
+                map.insert(key.to_string(), value.to_string());
+                i += 1;
+            } else if BOOLEAN_FLAGS.contains(&key) {
                 map.insert(key.to_string(), "true".to_string());
                 i += 1;
             } else {
@@ -122,12 +131,34 @@ impl Flags {
     }
 }
 
+/// How `--telemetry` wants its stderr report rendered.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TelemetryMode {
+    Text,
+    Json,
+}
+
+fn telemetry_mode(flags: &Flags) -> Result<Option<TelemetryMode>, String> {
+    match flags.0.get("telemetry").map(String::as_str) {
+        None => Ok(None),
+        Some("true") | Some("text") => Ok(Some(TelemetryMode::Text)),
+        Some("json") => Ok(Some(TelemetryMode::Json)),
+        Some(other) => Err(format!(
+            "flag --telemetry: unknown mode {other:?} (expected nothing, `text` or `json`)"
+        )),
+    }
+}
+
 fn run(args: Vec<String>) -> Result<String, String> {
     let Some((command, rest)) = args.split_first() else {
         return Err("no command given".into());
     };
     let flags = Flags::parse(rest)?;
-    match command.as_str() {
+    let telemetry = telemetry_mode(&flags)?;
+    if telemetry.is_some() {
+        multiclust::telemetry::set_enabled(true);
+    }
+    let output = match command.as_str() {
         "kmeans" => cmd_kmeans(&flags),
         "dbscan" => cmd_dbscan(&flags),
         "dec-kmeans" => cmd_dec_kmeans(&flags),
@@ -136,7 +167,19 @@ fn run(args: Vec<String>) -> Result<String, String> {
         "compare" => cmd_compare(&flags),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command {other:?}")),
+    }?;
+    // Telemetry goes to stderr so stdout CSV stays byte-identical to a run
+    // without the flag and keeps piping cleanly.
+    match telemetry {
+        Some(TelemetryMode::Json) => {
+            eprintln!("{}", multiclust::telemetry::snapshot().to_json());
+        }
+        Some(TelemetryMode::Text) => {
+            eprint!("{}", multiclust::telemetry::snapshot().to_text());
+        }
+        None => {}
     }
+    Ok(output)
 }
 
 fn load_data(flags: &Flags) -> Result<Dataset, String> {
@@ -185,9 +228,21 @@ fn render_solutions(solutions: &[&Clustering]) -> String {
     out
 }
 
+/// Rejects cluster counts the fitters would panic on.
+fn check_k(k: usize, n: usize) -> Result<(), String> {
+    if k == 0 {
+        return Err("--k must be at least 1".into());
+    }
+    if k > n {
+        return Err(format!("--k is {k} but the input has only {n} objects"));
+    }
+    Ok(())
+}
+
 fn cmd_kmeans(flags: &Flags) -> Result<String, String> {
     let data = load_data(flags)?;
     let k: usize = flags.parsed("k")?;
+    check_k(k, data.len())?;
     let mut rng = seeded_rng(flags.parsed_or("seed", 42u64)?);
     let res = KMeans::new(k).with_restarts(4).fit(&data, &mut rng);
     Ok(render_solutions(&[&res.clustering]))
@@ -208,7 +263,16 @@ fn cmd_dec_kmeans(flags: &Flags) -> Result<String, String> {
         .split(',')
         .map(|s| s.trim().parse().map_err(|_| format!("bad k {s:?} in --ks")))
         .collect::<Result<_, _>>()?;
+    if ks.len() < 2 {
+        return Err("--ks needs at least two comma-separated cluster counts".into());
+    }
+    for &k in &ks {
+        check_k(k, data.len())?;
+    }
     let lambda: f64 = flags.parsed_or("lambda", 1.0)?;
+    if lambda < 0.0 {
+        return Err("--lambda must be non-negative".into());
+    }
     let mut rng = seeded_rng(flags.parsed_or("seed", 42u64)?);
     let res = DecKMeans::new(&ks).with_lambda(lambda).fit(&data, &mut rng);
     let refs: Vec<&Clustering> = res.clusterings.iter().collect();
@@ -226,11 +290,15 @@ fn cmd_alternative(flags: &Flags) -> Result<String, String> {
         ));
     }
     let k: usize = flags.parsed("k")?;
+    check_k(k, data.len())?;
     let mut rng = seeded_rng(flags.parsed_or("seed", 42u64)?);
     let method = flags.parsed_or("method", "coala".to_string())?;
     let alternative = match method.as_str() {
         "coala" => {
             let w: f64 = flags.parsed_or("w", 1.0)?;
+            if w <= 0.0 {
+                return Err("--w must be positive".into());
+            }
             Coala::new(k, w).fit(&data, &given).clustering
         }
         "mincentropy" => {

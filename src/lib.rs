@@ -56,6 +56,7 @@ pub use multiclust_multiview as multiview;
 pub use multiclust_orthogonal as orthogonal;
 pub use multiclust_parallel as parallel;
 pub use multiclust_subspace as subspace;
+pub use multiclust_telemetry as telemetry;
 
 /// One-stop prelude for examples and downstream users.
 pub mod prelude {

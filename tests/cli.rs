@@ -178,3 +178,119 @@ fn bad_flags_fail_with_usage() {
     assert!(stderr.contains("missing required flag --input"));
     assert!(stderr.contains("usage:"));
 }
+
+#[test]
+fn malformed_csv_fails_cleanly() {
+    let dir = workdir("ragged");
+    let ragged = dir.join("ragged.csv");
+    fs::write(&ragged, "1.0,2.0\n3.0\n5.0,6.0\n").unwrap();
+    let garbage = dir.join("garbage.csv");
+    fs::write(&garbage, "1.0,2.0\n3.0,not-a-number\n").unwrap();
+
+    for input in [&ragged, &garbage] {
+        let out = bin()
+            .args(["kmeans", "--input", input.to_str().unwrap(), "--k", "2"])
+            .output()
+            .expect("binary runs");
+        assert!(!out.status.success(), "{input:?} must be rejected");
+        let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+        assert!(stderr.starts_with("error:"), "clean error line, got: {stderr}");
+        assert!(
+            !stderr.contains("panicked") && !stderr.contains("RUST_BACKTRACE"),
+            "no panic output, got: {stderr}"
+        );
+        assert!(stderr.contains("line 2"), "names the offending line: {stderr}");
+    }
+}
+
+#[test]
+fn k_larger_than_dataset_fails_cleanly() {
+    let dir = workdir("bigk");
+    let input = dir.join("tiny.csv");
+    fs::write(&input, "1.0,2.0\n3.0,4.0\n").unwrap();
+    let out = bin()
+        .args(["kmeans", "--input", input.to_str().unwrap(), "--k", "5"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("--k is 5 but the input has only 2 objects"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+/// The PR-2 acceptance criterion: `--telemetry=json` leaves stdout
+/// byte-identical and emits a JSON metrics report on stderr with at least
+/// one nonzero-duration span, per-iteration inertia events and the
+/// parallel-pool task counters.
+#[test]
+fn telemetry_json_reports_without_touching_stdout() {
+    let dir = workdir("telemetry");
+    let fb = four_blob_square(20, 10.0, 0.6, &mut seeded_rng(805));
+    let input = dir.join("data.csv");
+    write_csv(&fb.dataset, &input).unwrap();
+    let base_args =
+        ["kmeans", "--input", input.to_str().unwrap(), "--k", "3", "--seed", "9"];
+
+    let plain = bin().args(base_args).output().expect("binary runs");
+    assert!(plain.status.success());
+    let traced = bin()
+        .args(base_args)
+        .arg("--telemetry=json")
+        .output()
+        .expect("binary runs");
+    assert!(traced.status.success());
+
+    assert_eq!(plain.stdout, traced.stdout, "stdout must stay byte-identical");
+    assert!(plain.stderr.is_empty(), "no stderr without the flag");
+
+    let report = String::from_utf8(traced.stderr).expect("utf-8 stderr");
+    let parsed: serde_json::Value =
+        serde_json::from_str(report.trim()).expect("stderr must be one JSON document");
+    let serde_json::Value::Object(root) = parsed else { panic!("JSON object") };
+    let get = |key: &str| &root.iter().find(|(k, _)| k == key).expect(key).1;
+
+    let serde_json::Value::Array(spans) = get("spans") else { panic!("spans array") };
+    assert!(
+        spans.iter().any(|s| matches!(s, serde_json::Value::Object(f)
+            if f.iter().any(|(k, v)| k == "total_ns"
+                && matches!(v, serde_json::Value::Int(ns) if *ns > 0)))),
+        "at least one span with nonzero duration: {report}"
+    );
+    let serde_json::Value::Array(events) = get("events") else { panic!("events array") };
+    assert!(
+        events.iter().any(|e| matches!(e, serde_json::Value::Object(f)
+            if f.iter().any(|(k, v)| k == "name"
+                && matches!(v, serde_json::Value::String(n) if n == "kmeans.iter")))),
+        "per-iteration kmeans events present: {report}"
+    );
+    let serde_json::Value::Object(counters) = get("counters") else { panic!("counters") };
+    assert!(
+        counters.iter().any(|(k, v)| k == "parallel.tasks"
+            && matches!(v, serde_json::Value::Int(n) if *n > 0)),
+        "parallel-pool task counter present: {report}"
+    );
+}
+
+#[test]
+fn telemetry_text_mode_and_bad_mode() {
+    let dir = workdir("telemetry-text");
+    let fb = four_blob_square(10, 10.0, 0.6, &mut seeded_rng(806));
+    let input = dir.join("data.csv");
+    write_csv(&fb.dataset, &input).unwrap();
+
+    let out = bin()
+        .args(["kmeans", "--input", input.to_str().unwrap(), "--k", "2", "--telemetry"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("spans"), "human-readable report on stderr: {stderr}");
+    assert!(stderr.contains("kmeans.fit"), "{stderr}");
+
+    let bad = bin()
+        .args(["kmeans", "--input", input.to_str().unwrap(), "--k", "2", "--telemetry=xml"])
+        .output()
+        .expect("binary runs");
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("--telemetry"));
+}

@@ -1,0 +1,109 @@
+//! Workspace-level telemetry contracts:
+//!
+//! 1. the registry is thread-safe — counters bumped from pool worker
+//!    threads sum exactly;
+//! 2. the JSON exporter emits text the vendored `serde_json` parses;
+//! 3. telemetry never perturbs results — k-means and COALA outputs are
+//!    bit-identical with the switch on or off.
+
+use std::sync::Mutex;
+
+use multiclust::alternative::Coala;
+use multiclust::base::KMeans;
+use multiclust::core::Clustering;
+use multiclust::data::synthetic::four_blob_square;
+use multiclust::data::seeded_rng;
+use multiclust::{parallel, telemetry};
+
+/// The switch, the registry and the thread override are process-global;
+/// every test in this binary serializes on this lock and leaves telemetry
+/// off and empty behind itself.
+fn serialized<T>(f: impl FnOnce() -> T) -> T {
+    static LOCK: Mutex<()> = Mutex::new(());
+    let _guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    telemetry::set_enabled(true);
+    telemetry::reset();
+    let out = f();
+    telemetry::reset();
+    telemetry::set_enabled(false);
+    parallel::set_threads(0);
+    out
+}
+
+#[test]
+fn counters_from_pool_threads_sum_exactly() {
+    serialized(|| {
+        parallel::set_threads(4);
+        let n = 10_000;
+        let out = parallel::par_map_indexed(n, 1, |i| {
+            telemetry::counter_add("test.pool.counter", 1);
+            i
+        });
+        assert_eq!(out.len(), n);
+        let snap = telemetry::snapshot();
+        assert_eq!(
+            snap.counters["test.pool.counter"], n as u64,
+            "every increment from every worker thread lands exactly once"
+        );
+        // The pool reported its own task counters alongside.
+        assert!(snap.counters["parallel.tasks"] >= 64);
+    });
+}
+
+#[test]
+fn json_export_parses_with_vendored_serde_json() {
+    serialized(|| {
+        telemetry::counter_add("needs\"escaping\\here", 3);
+        telemetry::histogram_record("h", 1023);
+        telemetry::event("e", &[("value", 0.125), ("weird", f64::INFINITY)]);
+        {
+            let _outer = telemetry::span("outer");
+            let _inner = telemetry::span("inner");
+        }
+        let json = telemetry::snapshot().to_json();
+        let parsed: serde_json::Value =
+            serde_json::from_str(&json).expect("telemetry JSON must parse");
+        let serde_json::Value::Object(fields) = parsed else {
+            panic!("telemetry JSON root must be an object");
+        };
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["spans", "counters", "histograms", "events", "dropped_events"]);
+        // The nested span path made it through.
+        assert!(json.contains("outer/inner"), "{json}");
+        // Non-finite field values must degrade to null, not break the JSON.
+        assert!(json.contains("\"weird\":null"), "{json}");
+    });
+}
+
+/// Runs k-means and COALA with fixed seeds, returning everything
+/// bit-comparable about the results.
+fn fit_both() -> (Vec<Option<usize>>, u64, Clustering) {
+    let fb = four_blob_square(20, 10.0, 0.6, &mut seeded_rng(901));
+    let km = KMeans::new(4).with_restarts(3).fit(&fb.dataset, &mut seeded_rng(902));
+    let given = Clustering::from_labels(&fb.horizontal);
+    let coala = Coala::new(2, 0.8).fit(&fb.dataset, &given);
+    let labels: Vec<Option<usize>> =
+        (0..km.clustering.len()).map(|i| km.clustering.assignment(i)).collect();
+    (labels, km.sse.to_bits(), coala.clustering)
+}
+
+#[test]
+fn results_bit_identical_with_telemetry_on_and_off() {
+    let (off, on) = serialized(|| {
+        telemetry::set_enabled(false);
+        let off = fit_both();
+        telemetry::set_enabled(true);
+        telemetry::reset();
+        let on = fit_both();
+        // Telemetry actually recorded during the "on" run…
+        let snap = telemetry::snapshot();
+        assert!(snap.events.iter().any(|e| e.name == "kmeans.iter"));
+        assert!(snap.events.iter().any(|e| e.name == "coala.merge"));
+        assert!(snap.spans.contains_key("kmeans.fit"));
+        (off, on)
+    });
+    // …and changed nothing: same labels, same SSE bits, same partition.
+    assert_eq!(off.0, on.0, "k-means labels");
+    assert_eq!(off.1, on.1, "k-means SSE bits");
+    assert_eq!(off.2, on.2, "COALA partition");
+}

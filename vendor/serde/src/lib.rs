@@ -46,6 +46,18 @@ impl Value {
     }
 }
 
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 /// Error raised by a failed deserialization.
 #[derive(Clone, Debug)]
 pub struct Error(String);
