@@ -157,11 +157,14 @@ impl DecKMeans {
                         m[(a, a)] += ci;
                     }
                     let rhs: Vec<f64> = means[t][i].iter().map(|&x| ci * x).collect();
-                    let solved = m
-                        .inverse()
-                        .expect("ci·I + λB is positive definite")
-                        .matvec(&rhs);
-                    reps[t][i] = solved;
+                    // ci·I + λB is positive definite in exact arithmetic,
+                    // but wildly mixed feature scales can make it numerically
+                    // singular; fall back to the unregularised representative
+                    // r = α rather than panicking.
+                    reps[t][i] = match m.inverse() {
+                        Some(inv) => inv.matvec(&rhs),
+                        None => means[t][i].clone(),
+                    };
                 }
             }
 

@@ -69,7 +69,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn renders_aligned_columns() {
+    fn renders_aligned_columns() -> Result<(), String> {
         let mut t = Table::new(&["name", "value"]);
         t.row(&["x".into(), "1".into()]);
         t.row(&["longer-name".into(), "2.5".into()]);
@@ -79,8 +79,10 @@ mod tests {
         assert!(lines[2].starts_with("x"));
         assert!(lines[3].starts_with("longer-name"));
         // All data lines have equal prefix width up to the value column.
-        let col = lines[3].find("2.5").unwrap();
-        assert_eq!(lines[2].find('1').unwrap(), col);
+        let col = lines[3].find("2.5").ok_or("value cell missing from row 2")?;
+        let first = lines[2].find('1').ok_or("value cell missing from row 1")?;
+        assert_eq!(first, col);
+        Ok(())
     }
 
     #[test]

@@ -63,6 +63,62 @@ proptest! {
     }
 
     #[test]
+    fn label_permutation_invariance_random_bijection(
+        a in labels(24, 5),
+        b in labels(24, 5),
+        seed in 0..u64::MAX,
+    ) {
+        let ca = Clustering::from_labels(&a);
+        let cb = Clustering::from_labels(&b);
+        // Relabel b through a seeded random bijection of {0..k-1}; every
+        // measure looks only at the partition, so nothing may move.
+        let k = 5;
+        let mut perm: Vec<usize> = (0..k).collect();
+        let mut state = seed;
+        for i in (1..k).rev() {
+            // splitmix64 step for an index in 0..=i.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            perm.swap(i, ((z ^ (z >> 31)) % (i as u64 + 1)) as usize);
+        }
+        let relabelled: Vec<usize> = b.iter().map(|&l| perm[l]).collect();
+        let cp = Clustering::from_labels(&relabelled);
+        prop_assert!((rand_index(&ca, &cb) - rand_index(&ca, &cp)).abs() < 1e-12);
+        prop_assert!((jaccard_index(&ca, &cb) - jaccard_index(&ca, &cp)).abs() < 1e-12);
+        prop_assert!((adjusted_rand_index(&ca, &cb) - adjusted_rand_index(&ca, &cp)).abs() < 1e-10);
+        prop_assert!((normalized_mutual_information(&ca, &cb)
+            - normalized_mutual_information(&ca, &cp)).abs() < 1e-10);
+        prop_assert!((variation_of_information(&ca, &cb)
+            - variation_of_information(&ca, &cp)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bounds_hold_on_random_contingency_tables(
+        a in labels(30, 6),
+        b in labels(30, 4),
+    ) {
+        let ca = Clustering::from_labels(&a);
+        let cb = Clustering::from_labels(&b);
+        for (name, v, lo, hi) in [
+            ("rand", rand_index(&ca, &cb), 0.0, 1.0),
+            ("jaccard", jaccard_index(&ca, &cb), 0.0, 1.0),
+            ("ari", adjusted_rand_index(&ca, &cb), -1.0, 1.0),
+            ("nmi", normalized_mutual_information(&ca, &cb), 0.0, 1.0),
+        ] {
+            prop_assert!(v.is_finite(), "{} is not finite: {}", name, v);
+            prop_assert!(
+                (lo - 1e-12..=hi + 1e-12).contains(&v),
+                "{} = {} outside [{}, {}]", name, v, lo, hi
+            );
+        }
+        let vi = variation_of_information(&ca, &cb);
+        prop_assert!(vi.is_finite() && vi >= 0.0);
+        prop_assert!(vi <= 2.0 * (30f64).ln() + 1e-10, "VI above 2·ln n: {}", vi);
+    }
+
+    #[test]
     fn vi_triangle_inequality(
         a in labels(16, 3),
         b in labels(16, 3),

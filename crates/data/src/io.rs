@@ -152,19 +152,22 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parse_simple_table() {
-        let ds = parse_csv("1,2\n3,4\n", false).unwrap();
+    fn parse_simple_table() -> Result<(), CsvError> {
+        let ds = parse_csv("1,2\n3,4\n", false)?;
         assert_eq!(ds.len(), 2);
         assert_eq!(ds.row(1), &[3.0, 4.0]);
+        Ok(())
     }
 
     #[test]
-    fn parse_with_header_and_comments() {
+    fn parse_with_header_and_comments() -> Result<(), Box<dyn std::error::Error>> {
         let text = "# customer table\nage, income\n30, 50000\n# middle comment\n40, 60000\n";
-        let ds = parse_csv(text, true).unwrap();
-        assert_eq!(ds.dim_names().unwrap(), &["age".to_string(), "income".to_string()]);
+        let ds = parse_csv(text, true)?;
+        let names = ds.dim_names().ok_or("header row must yield dim names")?;
+        assert_eq!(names, &["age".to_string(), "income".to_string()]);
         assert_eq!(ds.len(), 2);
         assert_eq!(ds.row(0), &[30.0, 50000.0]);
+        Ok(())
     }
 
     #[test]
@@ -185,11 +188,12 @@ mod tests {
     }
 
     #[test]
-    fn csv_roundtrip() {
+    fn csv_roundtrip() -> Result<(), CsvError> {
         let ds = Dataset::from_rows(&[vec![1.5, -2.0], vec![0.25, 3.0]])
             .with_dim_names(vec!["a".into(), "b".into()]);
         let text = to_csv(&ds);
-        let back = parse_csv(&text, true).unwrap();
+        let back = parse_csv(&text, true)?;
         assert_eq!(ds, back);
+        Ok(())
     }
 }

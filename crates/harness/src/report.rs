@@ -1,0 +1,265 @@
+//! The verification runner and its report.
+//!
+//! [`verify`] drives the full matrix — every family × scenario ×
+//! applicable invariant, plus the golden-output comparison — and returns
+//! a [`VerifyReport`] the CLI renders and turns into an exit code.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use crate::families::{all_families, AlgorithmFamily, FitInput};
+use crate::fault::Fault;
+use crate::golden::{check_family, GoldenOutcome};
+use crate::invariants::{registry, CheckContext};
+use crate::scenario::catalog;
+
+/// What to verify and how.
+#[derive(Clone, Debug)]
+pub struct VerifyOptions {
+    /// Master seed for scenario generation and fitting.
+    pub seed: u64,
+    /// Restrict to one family by name (`None` = all eight).
+    pub family: Option<String>,
+    /// Inject a named fault; the run must then fail on its target.
+    pub fault: Option<Fault>,
+    /// Directory of golden fixtures; `None` skips the golden layer.
+    pub golden_dir: Option<PathBuf>,
+    /// Rewrite fixtures instead of comparing (`MULTICLUST_BLESS=1`).
+    pub bless: bool,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        Self { seed: 42, family: None, fault: None, golden_dir: None, bless: false }
+    }
+}
+
+/// One invariant check outcome.
+#[derive(Clone, Debug)]
+pub struct CheckOutcome {
+    /// Family the check ran against.
+    pub family: String,
+    /// Scenario it ran on.
+    pub scenario: String,
+    /// Invariant name.
+    pub invariant: &'static str,
+    /// `None` = pass, `Some(detail)` = violation.
+    pub violation: Option<String>,
+}
+
+/// The full result of a verification run.
+#[derive(Clone, Debug, Default)]
+pub struct VerifyReport {
+    /// Every executed invariant check.
+    pub outcomes: Vec<CheckOutcome>,
+    /// Golden comparison per family (empty when skipped).
+    pub golden: Vec<GoldenOutcome>,
+    /// Names of families that were verified.
+    pub families: Vec<String>,
+}
+
+impl VerifyReport {
+    /// `true` when no invariant was violated and all fixtures matched.
+    pub fn passed(&self) -> bool {
+        self.outcomes.iter().all(|o| o.violation.is_none())
+            && self.golden.iter().all(|g| g.mismatch.is_none())
+    }
+
+    /// All violated invariant names, deduplicated, in first-hit order.
+    pub fn violated_invariants(&self) -> Vec<&'static str> {
+        let mut seen = Vec::new();
+        for o in &self.outcomes {
+            if o.violation.is_some() && !seen.contains(&o.invariant) {
+                seen.push(o.invariant);
+            }
+        }
+        seen
+    }
+
+    /// Renders the per-family × invariant pass/fail table plus details.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let invariants: Vec<&'static str> = {
+            let mut names = Vec::new();
+            for o in &self.outcomes {
+                if !names.contains(&o.invariant) {
+                    names.push(o.invariant);
+                }
+            }
+            names
+        };
+        let name_w = invariants.iter().map(|i| i.len()).max().unwrap_or(10).max(9);
+
+        let _ = writeln!(out, "verification matrix (rows: invariants, columns: families)");
+        let _ = write!(out, "{:<w$}", "invariant", w = name_w + 2);
+        for f in &self.families {
+            let _ = write!(out, "{f:<18}");
+        }
+        out.push('\n');
+        for inv in &invariants {
+            let _ = write!(out, "{inv:<w$}", w = name_w + 2);
+            for fam in &self.families {
+                let cells: Vec<&CheckOutcome> = self
+                    .outcomes
+                    .iter()
+                    .filter(|o| &o.family == fam && o.invariant == *inv)
+                    .collect();
+                let cell = if cells.is_empty() {
+                    "-".to_string()
+                } else {
+                    let failed = cells.iter().filter(|o| o.violation.is_some()).count();
+                    if failed == 0 {
+                        format!("pass ({})", cells.len())
+                    } else {
+                        format!("FAIL ({failed}/{})", cells.len())
+                    }
+                };
+                let _ = write!(out, "{cell:<18}");
+            }
+            out.push('\n');
+        }
+
+        if !self.golden.is_empty() {
+            out.push('\n');
+            let _ = writeln!(out, "golden fixtures:");
+            for g in &self.golden {
+                let status = match (&g.mismatch, g.blessed) {
+                    (None, true) => "blessed".to_string(),
+                    (None, false) => "match".to_string(),
+                    (Some(m), _) => format!("MISMATCH — {m}"),
+                };
+                let _ = writeln!(out, "  {:<18}{status}", g.family);
+            }
+        }
+
+        let violations: Vec<&CheckOutcome> =
+            self.outcomes.iter().filter(|o| o.violation.is_some()).collect();
+        if violations.is_empty() && self.golden.iter().all(|g| g.mismatch.is_none()) {
+            let _ = writeln!(
+                out,
+                "\nall {} checks passed across {} families",
+                self.outcomes.len(),
+                self.families.len()
+            );
+        } else {
+            out.push('\n');
+            for v in &violations {
+                let _ = writeln!(
+                    out,
+                    "violation: {} [{} on {}]: {}",
+                    v.invariant,
+                    v.family,
+                    v.scenario,
+                    v.violation.as_deref().unwrap_or("")
+                );
+            }
+            for g in self.golden.iter().filter(|g| g.mismatch.is_some()) {
+                let _ = writeln!(
+                    out,
+                    "violation: golden-output [{}]: {}",
+                    g.family,
+                    g.mismatch.as_deref().unwrap_or("")
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Runs the verification matrix under the given options.
+pub fn verify(opts: &VerifyOptions) -> Result<VerifyReport, String> {
+    let scenarios = catalog(opts.seed);
+    let invariants = registry();
+    let families: Vec<Box<dyn AlgorithmFamily>> = match &opts.family {
+        None => all_families(),
+        Some(name) => {
+            let fams: Vec<Box<dyn AlgorithmFamily>> = all_families()
+                .into_iter()
+                .filter(|f| f.name() == name)
+                .collect();
+            if fams.is_empty() {
+                let known: Vec<&str> =
+                    all_families().iter().map(|f| f.name()).collect();
+                return Err(format!(
+                    "unknown family {name:?} (expected one of: {})",
+                    known.join(", ")
+                ));
+            }
+            fams
+        }
+    };
+
+    let mut report = VerifyReport {
+        families: families.iter().map(|f| f.name().to_string()).collect(),
+        ..VerifyReport::default()
+    };
+
+    for family in &families {
+        for scenario in &scenarios {
+            if !family.supports(scenario) {
+                continue;
+            }
+            let baseline = family.fit(&FitInput::of(scenario, opts.seed));
+            let ctx = CheckContext {
+                scenario,
+                baseline: &baseline,
+                seed: opts.seed,
+                fault: opts.fault,
+            };
+            for inv in &invariants {
+                if !inv.applies(family.as_ref(), scenario) {
+                    continue;
+                }
+                report.outcomes.push(CheckOutcome {
+                    family: family.name().to_string(),
+                    scenario: scenario.name.to_string(),
+                    invariant: inv.name(),
+                    violation: inv.check(family.as_ref(), &ctx).err(),
+                });
+            }
+        }
+        if let Some(dir) = &opts.golden_dir {
+            report.golden.push(check_family(
+                family.as_ref(),
+                &scenarios,
+                opts.seed,
+                dir,
+                opts.bless,
+            ));
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_family_run_is_clean_and_covers_all_invariants() {
+        let report = verify(&VerifyOptions {
+            family: Some("kmeans".to_string()),
+            ..VerifyOptions::default()
+        })
+        .expect("known family");
+        assert!(report.passed(), "{}", report.render_text());
+        let names = report.violated_invariants();
+        assert!(names.is_empty(), "{names:?}");
+        // k-means guarantees everything, so the whole registry must have run.
+        let mut covered: Vec<&str> =
+            report.outcomes.iter().map(|o| o.invariant).collect();
+        covered.sort_unstable();
+        covered.dedup();
+        assert!(covered.len() >= 10, "only {} invariants ran: {covered:?}", covered.len());
+    }
+
+    #[test]
+    fn unknown_family_is_an_error() {
+        let err = verify(&VerifyOptions {
+            family: Some("nope".to_string()),
+            ..VerifyOptions::default()
+        })
+        .unwrap_err();
+        assert!(err.contains("unknown family"), "{err}");
+    }
+}

@@ -23,4 +23,13 @@ test ! -s "$tmp/plain.err"
 grep -q '"spans"' "$tmp/traced.json"
 grep -q 'kmeans.iter' "$tmp/traced.json"
 grep -q 'parallel.tasks' "$tmp/traced.json"
+
+# Verification harness: the full invariant × family matrix plus the golden
+# fixtures must pass, and the report must be bit-identical whether the
+# deterministic pool runs on one thread or four.
+MULTICLUST_THREADS=1 ./target/release/multiclust verify > "$tmp/verify1.txt"
+MULTICLUST_THREADS=4 ./target/release/multiclust verify > "$tmp/verify4.txt"
+cmp "$tmp/verify1.txt" "$tmp/verify4.txt"
+grep -q 'all .* checks passed' "$tmp/verify1.txt"
+
 echo "check.sh: all gates passed"

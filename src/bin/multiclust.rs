@@ -11,13 +11,14 @@
 //! multiclust alternative  --input data.csv --given labels.csv --k 2 --method coala
 //! multiclust subspace     --input data.csv --xi 6 --tau 0.05 --select osclu
 //! multiclust compare      --a labels_a.csv --b labels_b.csv
+//! multiclust verify       --golden-dir tests/golden
 //! ```
 //!
 //! Common flags: `--header` (first CSV line is a header), `--seed <u64>`
 //! (default 42).
 
 use std::collections::HashMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use multiclust::alternative::{Coala, DecKMeans, MinCEntropy};
@@ -29,6 +30,7 @@ use multiclust::core::measures::diss::{
 use multiclust::core::Clustering;
 use multiclust::data::io::read_csv;
 use multiclust::data::{seeded_rng, Dataset};
+use multiclust::harness::{verify, Fault, VerifyOptions};
 use multiclust::orthogonal::{MetricFlip, QiDavidson};
 use multiclust::subspace::osclu::size_times_dims;
 use multiclust::subspace::redundancy::{rescu_select, statpc_select};
@@ -48,6 +50,8 @@ commands:
   subspace     --input <csv> --xi <n> --tau <f>
                [--select none|osclu|rescu|statpc] [--beta <f>] [--alpha <f>]
   compare      --a <labels.csv> --b <labels.csv>
+  verify       [--family <name>] [--inject <fault>] [--seed <n>]
+               [--golden-dir <dir>|none] [--bless]
 
 common flags: --header            first CSV line is a header row
               --seed <n>          RNG seed (default 42)
@@ -56,14 +60,19 @@ common flags: --header            first CSV line is a header row
 
 output: CSV on stdout — one column per solution, label per object,
         -1 for noise; `subspace` prints one cluster per line instead;
-        `compare` prints agreement measures.
+        `compare` prints agreement measures; `verify` prints the
+        invariant × family matrix and exits non-zero on any violation.
 ";
 
 fn main() -> ExitCode {
     match run(std::env::args().skip(1).collect()) {
-        Ok(output) => {
+        Ok(Outcome { output, passed }) => {
             print!("{output}");
-            ExitCode::SUCCESS
+            if passed {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
@@ -72,11 +81,27 @@ fn main() -> ExitCode {
     }
 }
 
+/// What a command produced: stdout text plus whether it succeeded.
+///
+/// `verify` can run to completion and still *fail* (violations found);
+/// that is not a usage error, so the report goes to stdout and only the
+/// exit code turns red.
+struct Outcome {
+    output: String,
+    passed: bool,
+}
+
+impl Outcome {
+    fn ok(output: String) -> Self {
+        Self { output, passed: true }
+    }
+}
+
 /// Parsed flag map: `--key value` pairs plus boolean `--header`.
 struct Flags(HashMap<String, String>);
 
 /// Flags taking no value: bare `--flag` means "true".
-const BOOLEAN_FLAGS: &[&str] = &["header", "telemetry"];
+const BOOLEAN_FLAGS: &[&str] = &["header", "telemetry", "bless"];
 
 impl Flags {
     fn parse(args: &[String]) -> Result<Self, String> {
@@ -149,7 +174,7 @@ fn telemetry_mode(flags: &Flags) -> Result<Option<TelemetryMode>, String> {
     }
 }
 
-fn run(args: Vec<String>) -> Result<String, String> {
+fn run(args: Vec<String>) -> Result<Outcome, String> {
     let Some((command, rest)) = args.split_first() else {
         return Err("no command given".into());
     };
@@ -158,14 +183,15 @@ fn run(args: Vec<String>) -> Result<String, String> {
     if telemetry.is_some() {
         multiclust::telemetry::set_enabled(true);
     }
-    let output = match command.as_str() {
-        "kmeans" => cmd_kmeans(&flags),
-        "dbscan" => cmd_dbscan(&flags),
-        "dec-kmeans" => cmd_dec_kmeans(&flags),
-        "alternative" => cmd_alternative(&flags),
-        "subspace" => cmd_subspace(&flags),
-        "compare" => cmd_compare(&flags),
-        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+    let outcome = match command.as_str() {
+        "kmeans" => cmd_kmeans(&flags).map(Outcome::ok),
+        "dbscan" => cmd_dbscan(&flags).map(Outcome::ok),
+        "dec-kmeans" => cmd_dec_kmeans(&flags).map(Outcome::ok),
+        "alternative" => cmd_alternative(&flags).map(Outcome::ok),
+        "subspace" => cmd_subspace(&flags).map(Outcome::ok),
+        "compare" => cmd_compare(&flags).map(Outcome::ok),
+        "verify" => cmd_verify(&flags),
+        "help" | "--help" | "-h" => Ok(Outcome::ok(USAGE.to_string())),
         other => Err(format!("unknown command {other:?}")),
     }?;
     // Telemetry goes to stderr so stdout CSV stays byte-identical to a run
@@ -179,7 +205,7 @@ fn run(args: Vec<String>) -> Result<String, String> {
         }
         None => {}
     }
-    Ok(output)
+    Ok(outcome)
 }
 
 fn load_data(flags: &Flags) -> Result<Dataset, String> {
@@ -355,6 +381,33 @@ fn cmd_subspace(flags: &Flags) -> Result<String, String> {
         ));
     }
     Ok(out)
+}
+
+fn cmd_verify(flags: &Flags) -> Result<Outcome, String> {
+    let fault = match flags.0.get("inject") {
+        None => None,
+        Some(name) => {
+            Some(Fault::parse(name).map_err(|e| format!("flag --inject: {e}"))?)
+        }
+    };
+    // `--golden-dir none` skips the fixture layer, e.g. when probing a
+    // single family or an injected fault away from the repo checkout.
+    let golden_dir = match flags.0.get("golden-dir").map(String::as_str) {
+        Some("none") => None,
+        Some(dir) => Some(PathBuf::from(dir)),
+        None => Some(PathBuf::from("tests/golden")),
+    };
+    let bless = flags.bool("bless")
+        || std::env::var("MULTICLUST_BLESS").map_or(false, |v| v == "1");
+    let opts = VerifyOptions {
+        seed: flags.parsed_or("seed", 42u64)?,
+        family: flags.0.get("family").cloned(),
+        fault,
+        golden_dir,
+        bless,
+    };
+    let report = verify(&opts)?;
+    Ok(Outcome { output: report.render_text(), passed: report.passed() })
 }
 
 fn cmd_compare(flags: &Flags) -> Result<String, String> {

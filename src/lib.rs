@@ -51,6 +51,7 @@ pub use multiclust_alternative as alternative;
 pub use multiclust_base as base;
 pub use multiclust_core as core;
 pub use multiclust_data as data;
+pub use multiclust_harness as harness;
 pub use multiclust_linalg as linalg;
 pub use multiclust_multiview as multiview;
 pub use multiclust_orthogonal as orthogonal;

@@ -271,6 +271,72 @@ fn telemetry_json_reports_without_touching_stdout() {
     );
 }
 
+/// PR-3 acceptance: a clean `verify` run against the committed golden
+/// fixtures exits 0 and prints the invariant × family matrix.
+#[test]
+fn verify_clean_run_exits_zero() {
+    let golden = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let out = bin()
+        .args(["verify", "--family", "kmeans", "--golden-dir", golden.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stdout.contains("verification matrix"), "{stdout}");
+    assert!(stdout.contains("partition-validity"), "{stdout}");
+    assert!(stdout.contains("kmeans            match"), "golden line: {stdout}");
+    assert!(out.stderr.is_empty(), "clean run is quiet on stderr");
+}
+
+/// An injected fault must flip the exit code and name its targeted
+/// invariant in the report — with no usage dump, because the run itself
+/// was well-formed.
+#[test]
+fn verify_injected_fault_fails_with_named_invariant() {
+    let out = bin()
+        .args([
+            "verify",
+            "--family",
+            "kmeans",
+            "--inject",
+            "asymmetric-diss",
+            "--golden-dir",
+            "none",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "fault must fail the run");
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stdout.contains("violation: diss-symmetry"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(!stderr.contains("usage:"), "no usage dump on a verification failure: {stderr}");
+
+    let bad = bin()
+        .args(["verify", "--inject", "nonsense"])
+        .output()
+        .expect("binary runs");
+    assert!(!bad.status.success());
+    let stderr = String::from_utf8_lossy(&bad.stderr).to_string();
+    assert!(stderr.contains("unknown fault"), "{stderr}");
+    assert!(stderr.contains("asymmetric-diss"), "lists known faults: {stderr}");
+}
+
+/// `--telemetry` must not perturb the verification report: stdout stays
+/// byte-identical and the run still passes.
+#[test]
+fn verify_with_telemetry_keeps_stdout_identical() {
+    let args = ["verify", "--family", "coala", "--golden-dir", "none"];
+    let plain = bin().args(args).output().expect("binary runs");
+    assert!(plain.status.success());
+    let traced = bin().args(args).arg("--telemetry").output().expect("binary runs");
+    assert!(traced.status.success());
+    assert_eq!(plain.stdout, traced.stdout, "report must stay byte-identical");
+    assert!(
+        String::from_utf8_lossy(&traced.stderr).contains("spans"),
+        "telemetry report lands on stderr"
+    );
+}
+
 #[test]
 fn telemetry_text_mode_and_bad_mode() {
     let dir = workdir("telemetry-text");
