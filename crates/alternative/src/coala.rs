@@ -13,7 +13,8 @@
 //! and performs the quality merge iff `d_qual < w · d_diss`. Large `w`
 //! prefers quality, small `w` prefers dissimilarity (slide 33).
 
-use multiclust_core::measures::quality::average_link;
+use multiclust_core::measures::quality::{average_link, average_link_cached};
+use multiclust_linalg::kernels::{self, KernelMode, SymmetricMatrix};
 use multiclust_core::taxonomy::{
     AlgorithmCard, Flexibility, GivenKnowledge, Processing, SearchSpace, Solutions,
     SubspaceAwareness,
@@ -74,6 +75,21 @@ impl Coala {
         let n = data.len();
         assert!(n >= self.k, "need at least k objects");
         let _span = multiclust_telemetry::span("coala.fit");
+        // The engine computes the pairwise distance matrix once and reuses
+        // it across every merge step (the naive path recomputes up to
+        // n²/2 distances per step). Capped so the condensed triangle stays
+        // within a few hundred MB; `average_link_cached` accumulates in the
+        // same order over the same values, so results are bit-identical.
+        let dists: Option<SymmetricMatrix> =
+            if kernels::kernel_mode() == KernelMode::Engine && n <= 16_384 {
+                Some(kernels::dist_matrix(data.dims(), data.as_slice()))
+            } else {
+                None
+            };
+        let link = |a: &[usize], b: &[usize]| match &dists {
+            Some(m) => average_link_cached(m, a, b),
+            None => average_link(data, a, b),
+        };
         let mut groups: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
         let mut quality_merges = 0;
         let mut dissimilarity_merges = 0;
@@ -87,17 +103,33 @@ impl Coala {
             // strict `<`, so the winner is the first minimum in scan order
             // — bit-identical to the serial double loop.
             let g = groups.len();
-            let pairs: Vec<(usize, usize)> = (0..g)
-                .flat_map(|i| ((i + 1)..g).map(move |j| (i, j)))
-                .collect();
+            // Pairs are enumerated straight from the linear index (the
+            // lexicographic rank of (i, j) in the strict upper triangle)
+            // instead of materializing the O(g²) pair list every step —
+            // at 10k groups that list alone was 800 MB of churn per merge.
+            let row_start = |i: usize| i * (2 * g - i - 1) / 2;
+            let pair_at = |t: usize| {
+                // Float inverse of the triangular rank, then exact fixup.
+                let disc = ((2 * g - 1) * (2 * g - 1) - 8 * t) as f64;
+                let mut i = (((2 * g - 1) as f64 - disc.sqrt()) / 2.0) as usize;
+                i = i.min(g - 2);
+                while row_start(i) > t {
+                    i -= 1;
+                }
+                while row_start(i + 1) <= t {
+                    i += 1;
+                }
+                (i, i + 1 + (t - row_start(i)))
+            };
             let (qual, diss) = multiclust_parallel::par_reduce(
-                pairs.len(),
+                g * (g - 1) / 2,
                 8,
                 |range| {
                     let mut qual: Option<(usize, usize, f64)> = None;
                     let mut diss: Option<(usize, usize, f64)> = None;
-                    for &(i, j) in &pairs[range] {
-                        let d = average_link(data, &groups[i], &groups[j]);
+                    let (mut i, mut j) = pair_at(range.start);
+                    for _ in range {
+                        let d = link(&groups[i], &groups[j]);
                         if qual.is_none_or(|(_, _, best)| d < best) {
                             qual = Some((i, j, d));
                         }
@@ -105,6 +137,11 @@ impl Coala {
                             && diss.is_none_or(|(_, _, best)| d < best)
                         {
                             diss = Some((i, j, d));
+                        }
+                        j += 1;
+                        if j == g {
+                            i += 1;
+                            j = i + 1;
                         }
                     }
                     (qual, diss)

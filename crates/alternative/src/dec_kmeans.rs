@@ -24,12 +24,13 @@ use multiclust_core::taxonomy::{
 };
 use multiclust_core::Clustering;
 use multiclust_data::Dataset;
+use multiclust_linalg::kernels::{sq_norms, NearestAssign};
 use multiclust_linalg::vector::{dot, sq_dist};
 use multiclust_linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use multiclust_base::kmeans::{nearest, plus_plus_init};
+use multiclust_base::kmeans::plus_plus_init;
 
 /// Decorrelated k-Means configuration.
 #[derive(Clone, Debug)]
@@ -113,6 +114,12 @@ impl DecKMeans {
             .collect();
         let mut labels: Vec<Vec<usize>> = vec![vec![0; n]; t_count];
         let mut iterations = 0;
+        // One bound-pruned assigner per clustering, all sharing the row
+        // norms of the centred data; labels are bit-identical to the
+        // exhaustive `nearest` scan per point.
+        let norms = sq_norms(d, centred.as_slice());
+        let mut assigners: Vec<NearestAssign> =
+            (0..t_count).map(|_| NearestAssign::new(n)).collect();
 
         for it in 0..self.max_iter {
             iterations = it + 1;
@@ -120,8 +127,8 @@ impl DecKMeans {
 
             // Assignment step for every clustering.
             for (t, rep_t) in reps.iter().enumerate() {
-                for (i, row) in centred.rows().enumerate() {
-                    let c = nearest(row, rep_t).0;
+                assigners[t].assign(d, centred.as_slice(), &norms, rep_t);
+                for (i, &c) in assigners[t].labels().iter().enumerate() {
                     if labels[t][i] != c {
                         labels[t][i] = c;
                         changed = true;
@@ -191,9 +198,8 @@ impl DecKMeans {
 
         // Final assignments and objective.
         for (t, rep_t) in reps.iter().enumerate() {
-            for (i, row) in centred.rows().enumerate() {
-                labels[t][i] = nearest(row, rep_t).0;
-            }
+            assigners[t].assign(d, centred.as_slice(), &norms, rep_t);
+            labels[t].copy_from_slice(assigners[t].labels());
         }
         let means = compute_means(&centred, &labels, &self.ks, rng);
         let objective = self.objective(&centred, &labels, &reps, &means);

@@ -15,6 +15,7 @@ use multiclust_core::taxonomy::{
 };
 use multiclust_core::Clustering;
 use multiclust_data::Dataset;
+use multiclust_linalg::kernels::SymmetricMatrix;
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -92,17 +93,17 @@ impl MetaClustering {
     /// similarity graph and picks medoid representatives.
     fn group(&self, all: Vec<Clustering>) -> MetaClusteringResult {
         let n = all.len();
-        // Pairwise Rand similarities. Each strict upper-triangle row is
-        // independent, so rows compute in parallel (bit-identical at any
-        // thread count); the mirror pass below stays serial and cheap.
-        let upper: Vec<Vec<f64>> = multiclust_parallel::par_map_indexed(n, 1, |i| {
-            ((i + 1)..n).map(|j| rand_index(&all[i], &all[j])).collect()
-        });
+        // Pairwise Rand similarities through the shared symmetric-matrix
+        // builder: each strict upper-triangle row is independent, so rows
+        // compute in parallel (bit-identical at any thread count); the
+        // mirror pass below stays serial and cheap.
+        let pairwise =
+            SymmetricMatrix::build(n, |i, j| rand_index(&all[i], &all[j]));
         let mut sim = vec![vec![0.0f64; n]; n];
         for i in 0..n {
             sim[i][i] = 1.0;
-            for (off, &s) in upper[i].iter().enumerate() {
-                let j = i + 1 + off;
+            for j in (i + 1)..n {
+                let s = pairwise.get(i, j);
                 sim[i][j] = s;
                 sim[j][i] = s;
             }

@@ -3,6 +3,7 @@
 use multiclust_core::measures::quality::sum_of_squared_errors;
 use multiclust_core::Clustering;
 use multiclust_data::Dataset;
+use multiclust_linalg::kernels::{sq_norms, NearestAssign};
 use multiclust_linalg::vector::sq_dist;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -84,8 +85,10 @@ impl KMeans {
         let _span = multiclust_telemetry::span("kmeans.fit");
         multiclust_telemetry::counter_add("kmeans.restarts", self.n_init as u64);
         let seeds: Vec<u64> = (0..self.n_init).map(|_| rng.gen()).collect();
+        // Row norms are shared by every restart's bound-pruned assignment.
+        let norms = sq_norms(data.dims(), data.as_slice());
         let runs = multiclust_parallel::par_map_indexed(self.n_init, 1, |r| {
-            self.fit_once(data, &mut StdRng::seed_from_u64(seeds[r]), r)
+            self.fit_once(data, &norms, &mut StdRng::seed_from_u64(seeds[r]), r)
         });
         let best = runs
             .into_iter()
@@ -101,21 +104,27 @@ impl KMeans {
         best
     }
 
-    fn fit_once(&self, data: &Dataset, rng: &mut StdRng, restart: usize) -> KMeansResult {
+    fn fit_once(
+        &self,
+        data: &Dataset,
+        norms: &[f64],
+        rng: &mut StdRng,
+        restart: usize,
+    ) -> KMeansResult {
         let mut centroids = plus_plus_init(data, self.k, rng);
         let n = data.len();
         let d = data.dims();
-        let mut labels = vec![0usize; n];
         let mut iterations = 0;
-        // Each object's nearest centre depends only on that object, so the
-        // assignment step parallelises with bit-identical labels.
-        let assign_chunk = (1usize << 14) / (self.k * d.max(1)).max(1) + 1;
+        // Bound-pruned assignment through the shared kernel engine: labels
+        // are bit-identical to the exhaustive `nearest` scan at any thread
+        // count and in either kernel mode (see DESIGN.md, "Distance
+        // engine").
+        let mut assigner = NearestAssign::new(n);
         for it in 0..self.max_iter {
             iterations = it + 1;
             // Assignment step.
-            labels = multiclust_parallel::par_map_indexed(n, assign_chunk, |i| {
-                nearest(data.row(i), &centroids).0
-            });
+            assigner.assign(d, data.as_slice(), norms, &centroids);
+            let labels = assigner.labels();
             // Convergence trace: the k-means objective (inertia) of the
             // fresh assignment against the centroids it was made with.
             // Computed only when telemetry records — it reads state, never
@@ -162,10 +171,8 @@ impl KMeans {
             }
         }
         // Final assignment against the last centroids.
-        labels = multiclust_parallel::par_map_indexed(n, assign_chunk, |i| {
-            nearest(data.row(i), &centroids).0
-        });
-        let clustering = Clustering::from_labels(&labels);
+        assigner.assign(d, data.as_slice(), norms, &centroids);
+        let clustering = Clustering::from_labels(assigner.labels());
         let sse = sum_of_squared_errors(data, &clustering);
         KMeansResult { clustering, centroids, sse, iterations }
     }

@@ -8,6 +8,7 @@
 
 use multiclust_core::Clustering;
 use multiclust_data::Dataset;
+use multiclust_linalg::kernels::{self, KernelMode};
 use multiclust_linalg::power::top_eigenpairs;
 use multiclust_linalg::vector::{normalize, sq_dist};
 use multiclust_linalg::{Matrix, SymmetricEigen};
@@ -49,13 +50,29 @@ impl SpectralClustering {
 
     /// The Gaussian affinity matrix `W` with zero diagonal.
     ///
-    /// The serial path fills the upper triangle and mirrors it; the
-    /// parallel path computes full rows independently. Both yield the same
-    /// bits: `sq_dist(x, y) == sq_dist(y, x)` exactly in IEEE arithmetic,
-    /// so the mirrored value equals the directly computed one.
+    /// The engine path builds the shared symmetric squared-distance matrix
+    /// once (each pair evaluated a single time) and maps it through the
+    /// Gaussian; the naive reference recomputes each pair per cell. Both
+    /// yield the same bits: `sq_dist(x, y) == sq_dist(y, x)` exactly in
+    /// IEEE arithmetic, so the mirrored value equals the directly computed
+    /// one.
     pub fn affinity(&self, data: &Dataset) -> Matrix {
         let n = data.len();
         let denom = 2.0 * self.sigma * self.sigma;
+        if kernels::kernel_mode() == KernelMode::Engine {
+            let aff = kernels::sq_dist_matrix(data.dims(), data.as_slice())
+                .map(|d2| (-d2 / denom).exp());
+            let mut w = Matrix::zeros(n, n);
+            let mut it = aff.values().iter();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let a = *it.next().expect("condensed triangle length");
+                    w[(i, j)] = a;
+                    w[(j, i)] = a;
+                }
+            }
+            return w;
+        }
         if multiclust_parallel::current_threads() == 1 {
             let mut w = Matrix::zeros(n, n);
             for i in 0..n {

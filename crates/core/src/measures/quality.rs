@@ -1,6 +1,7 @@
 //! Quality measures `Q` for a single clustering on a dataset.
 
 use multiclust_data::Dataset;
+use multiclust_linalg::kernels::SymmetricMatrix;
 use multiclust_linalg::vector::{dist, sq_dist};
 
 use crate::Clustering;
@@ -109,6 +110,24 @@ pub fn average_link(data: &Dataset, a: &[usize], b: &[usize]) -> f64 {
         let ri = data.row(i);
         for &j in b {
             s += dist(ri, data.row(j));
+        }
+    }
+    s / (a.len() * b.len()) as f64
+}
+
+/// [`average_link`] against a precomputed pairwise distance matrix.
+///
+/// The accumulation runs in the same `a`-outer / `b`-inner order over the
+/// same `dist` values, so the result is bit-identical to [`average_link`]
+/// when `dists` holds the Euclidean distance matrix of `data` — this is
+/// what lets COALA share one matrix across its whole merge scan.
+#[inline]
+pub fn average_link_cached(dists: &SymmetricMatrix, a: &[usize], b: &[usize]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "average link of empty set");
+    let mut s = 0.0;
+    for &i in a {
+        for &j in b {
+            s += dists.get(i, j);
         }
     }
     s / (a.len() * b.len()) as f64

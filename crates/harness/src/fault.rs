@@ -21,6 +21,9 @@ pub enum Fault {
     /// Reports a fabricated index value of 1.5 alongside the real ones —
     /// caught by `diss-bounds`.
     OutOfBoundsMeasure,
+    /// Flips one label in the naive-kernel refit, desynchronising it from
+    /// the optimized-engine baseline — caught by `kernel-equivalence`.
+    DesyncKernels,
 }
 
 impl Fault {
@@ -31,6 +34,7 @@ impl Fault {
             Fault::RelabelSecondRun,
             Fault::AsymmetricDiss,
             Fault::OutOfBoundsMeasure,
+            Fault::DesyncKernels,
         ]
     }
 
@@ -41,6 +45,7 @@ impl Fault {
             Fault::RelabelSecondRun => "relabel-second-run",
             Fault::AsymmetricDiss => "asymmetric-diss",
             Fault::OutOfBoundsMeasure => "out-of-bounds-measure",
+            Fault::DesyncKernels => "desync-kernels",
         }
     }
 
@@ -51,6 +56,7 @@ impl Fault {
             Fault::RelabelSecondRun => "determinism",
             Fault::AsymmetricDiss => "diss-symmetry",
             Fault::OutOfBoundsMeasure => "diss-bounds",
+            Fault::DesyncKernels => "kernel-equivalence",
         }
     }
 

@@ -14,6 +14,7 @@ use multiclust_core::measures::diss::{
 };
 use multiclust_core::Clustering;
 use multiclust_data::{seeded_rng, Dataset};
+use multiclust_linalg::kernels;
 use rand::Rng;
 
 use crate::families::{AlgorithmFamily, FitInput};
@@ -60,6 +61,7 @@ pub fn registry() -> Vec<Box<dyn Invariant>> {
         Box::new(MeasureSelfIdentity),
         Box::new(DissSymmetry),
         Box::new(DissBounds),
+        Box::new(KernelEquivalence),
     ]
 }
 
@@ -692,6 +694,112 @@ impl Invariant for DissBounds {
                     ));
                 }
             }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// 13. kernel-equivalence
+// ---------------------------------------------------------------------
+
+/// Serialises kernel-mode pinning: the override is process-global. Both
+/// modes are bit-identical by contract, so a concurrent fit observing the
+/// override is correctness-neutral; the lock only keeps this check's two
+/// runs cleanly paired.
+fn with_kernel_mode<T>(mode: kernels::KernelMode, f: impl FnOnce() -> T) -> T {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            kernels::set_kernel_mode(None);
+        }
+    }
+    let _restore = Restore;
+    kernels::set_kernel_mode(Some(mode));
+    f()
+}
+
+/// The optimized distance engine is a pure refactor of results: end-to-end
+/// solutions and raw kernel outputs are bit-identical to the naive
+/// reference, and on the numerically riskiest input (×1e9/×1e-9 feature
+/// scales) the cancellation guard actually fires.
+pub struct KernelEquivalence;
+
+impl Invariant for KernelEquivalence {
+    fn name(&self) -> &'static str {
+        "kernel-equivalence"
+    }
+    fn description(&self) -> &'static str {
+        "optimized kernels ≡ naive reference bit-for-bit (solutions, distance matrices, assignments)"
+    }
+    fn applies(&self, _: &dyn AlgorithmFamily, _: &Scenario) -> bool {
+        true
+    }
+    fn check(&self, family: &dyn AlgorithmFamily, ctx: &CheckContext) -> Result<(), String> {
+        let s = ctx.scenario;
+        // End-to-end: the family's solutions under each kernel mode.
+        let engine = with_kernel_mode(kernels::KernelMode::Engine, || {
+            fit_with(family, s, &s.dataset, &s.given, ctx.seed)
+        });
+        let mut naive = with_kernel_mode(kernels::KernelMode::Naive, || {
+            fit_with(family, s, &s.dataset, &s.given, ctx.seed)
+        });
+        if ctx.fault == Some(Fault::DesyncKernels) {
+            if let Some(first) = naive.first_mut() {
+                let mut a = first.assignments().to_vec();
+                if let Some(slot) = a.first_mut() {
+                    let k = first.num_clusters().max(1);
+                    *slot = Some(slot.map_or(0, |l| (l + 1) % k.max(2)));
+                }
+                *first = Clustering::from_options(a);
+            }
+        }
+        identical_solutions(&engine, &naive)
+            .map_err(|e| format!("engine vs naive kernels: {e}"))?;
+
+        // Kernel level: the shared distance matrix and the bound-pruned
+        // assignment against the naive double loop / exhaustive scan.
+        let d = s.dataset.dims();
+        let flat = s.dataset.as_slice();
+        let matrix = kernels::sq_dist_matrix(d, flat);
+        let naive_matrix = kernels::reference::sq_dist_matrix(d, flat);
+        if matrix != naive_matrix {
+            let bad = matrix
+                .values()
+                .iter()
+                .zip(naive_matrix.values())
+                .position(|(a, b)| a != b);
+            return Err(format!(
+                "distance matrix diverges from the naive double loop at condensed entry {bad:?}"
+            ));
+        }
+        let norms = kernels::sq_norms(d, flat);
+        // At least PRUNE_MIN_K centres so the *pruned* scan (not the
+        // small-k exhaustive fast path) is what gets compared.
+        let k = s.k.max(kernels::PRUNE_MIN_K).min(s.dataset.len());
+        let centers: Vec<Vec<f64>> =
+            (0..k).map(|c| s.dataset.row(c).to_vec()).collect();
+        let mut assigner = kernels::NearestAssign::new(s.dataset.len());
+        let stats = with_kernel_mode(kernels::KernelMode::Engine, || {
+            assigner.assign(d, flat, &norms, &centers)
+        });
+        for i in 0..s.dataset.len() {
+            let want = kernels::reference::nearest(s.dataset.row(i), &centers).0;
+            if assigner.labels()[i] != want {
+                return Err(format!(
+                    "pruned assignment diverges from the exhaustive scan at object {i}"
+                ));
+            }
+        }
+        // On the extreme-scale scenario the dot-product estimate loses most
+        // significant bits for same-blob pairs far from the origin — the
+        // cancellation guard must actually be exercised there.
+        if s.name == "extreme-scales" && stats.guard_trips == 0 {
+            return Err(
+                "cancellation guard never fired on the ×1e9/×1e-9 scenario".to_string()
+            );
         }
         Ok(())
     }

@@ -1,0 +1,825 @@
+//! The shared distance-kernel engine.
+//!
+//! Every paradigm in the workspace bottoms out in pairwise Euclidean
+//! geometry: k-means assignment, COALA's average-link merge scan, spectral
+//! affinities, PROCLUS medoid localities and meta-clustering's pairwise
+//! solution matrix. This module centralises that substrate:
+//!
+//! * **Cached squared row norms** ([`sq_norms`]) and the dot-product
+//!   formulation `d²(x, c) = ‖x‖² + ‖c‖² − 2·x·c` ([`sq_dist_via_norms`]),
+//!   with a *cancellation guard*: when the estimate is below
+//!   [`GUARD_REL`] of the norm mass `‖x‖² + ‖c‖²`, most significant bits
+//!   have cancelled and the kernel falls back to the naive per-pair form.
+//! * **A reusable symmetric matrix builder** ([`SymmetricMatrix`]):
+//!   the strict upper triangle computed once (in parallel via
+//!   `multiclust-parallel`, bit-identical at any thread count) and shared —
+//!   COALA reuses one Euclidean matrix across its entire merge scan,
+//!   spectral affinity halves its distance evaluations, meta-clustering
+//!   builds its pairwise Rand matrix through the same machinery.
+//! * **Hamerly-style bound-pruned nearest-centre assignment**
+//!   ([`NearestAssign`]): per-point upper/lower distance bounds maintained
+//!   across Lloyd iterations skip whole inner loops, and the dot-product
+//!   estimate prunes candidate centres inside full scans. Every pruning
+//!   decision is backed by a certified floating-point error margin, so the
+//!   produced labels are **bit-identical** to the exhaustive naive scan —
+//!   the engine is a pure refactor of results (see DESIGN.md, "Distance
+//!   engine", for the proof sketch).
+//!
+//! The naive reference kernels live in [`reference`]; the `reference`
+//! cargo feature (or `MULTICLUST_KERNELS=naive`, or
+//! [`set_kernel_mode`]) routes all call sites through them for A/B
+//! testing and benchmarking.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+use crate::vector::{dist, dot, sq_dist};
+
+/// Relative cancellation-guard threshold: when the dot-product estimate of
+/// `d²` is below this fraction of the norm mass `‖x‖² + ‖y‖²`, roughly
+/// seven decimal digits have cancelled and the kernel recomputes the
+/// distance with the naive per-pair form instead.
+pub const GUARD_REL: f64 = 1e-2;
+
+/// Minimum centre count for bound pruning to engage. Below this the
+/// pruned scan costs more than it saves — per centre it computes an
+/// estimate (`d` flops) plus bookkeeping, and at least one exact distance
+/// is always verified — so the engine uses the exhaustive reference scan
+/// instead. Either path returns identical labels, so the threshold is a
+/// pure speed heuristic.
+pub const PRUNE_MIN_K: usize = 4;
+
+/// Certified relative error slack of the dot-product formulation and of
+/// bound maintenance, as a multiple of `f64::EPSILON` per dimension.
+/// `slack(d) · mass` upper-bounds `|est − sq_dist(x, y)|` for any inputs
+/// with `‖x‖² + ‖y‖² = mass` (both values as computed in IEEE arithmetic,
+/// summation in index order), with a factor ≥ 2 of headroom.
+#[inline]
+fn slack(d: usize) -> f64 {
+    4.0 * (d as f64 + 2.0) * f64::EPSILON
+}
+
+#[inline]
+fn inflate(x: f64, d: usize) -> f64 {
+    x * (1.0 + slack(d))
+}
+
+#[inline]
+fn deflate(x: f64, d: usize) -> f64 {
+    (x * (1.0 - slack(d))).max(0.0)
+}
+
+// ---------------------------------------------------------------------
+// Kernel mode
+// ---------------------------------------------------------------------
+
+/// Which kernel implementation the call sites route through.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelMode {
+    /// The optimised engine (cached norms, shared matrices, bound pruning).
+    Engine,
+    /// The naive reference: per-pair distances recomputed at every call,
+    /// exhaustive assignment scans. Bit-identical results, no caching.
+    Naive,
+}
+
+/// 0 = no override, 1 = engine, 2 = naive.
+static MODE_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+fn mode_from_env() -> Option<KernelMode> {
+    static ENV: OnceLock<Option<KernelMode>> = OnceLock::new();
+    *ENV.get_or_init(|| match std::env::var("MULTICLUST_KERNELS").as_deref() {
+        Ok("naive") => Some(KernelMode::Naive),
+        Ok("engine") => Some(KernelMode::Engine),
+        _ => None,
+    })
+}
+
+/// The active kernel mode: a [`set_kernel_mode`] override wins, then the
+/// `MULTICLUST_KERNELS` environment variable (`naive` / `engine`, read
+/// once), then the `reference` cargo feature, then [`KernelMode::Engine`].
+pub fn kernel_mode() -> KernelMode {
+    match MODE_OVERRIDE.load(Ordering::Relaxed) {
+        1 => KernelMode::Engine,
+        2 => KernelMode::Naive,
+        _ => mode_from_env().unwrap_or(if cfg!(feature = "reference") {
+            KernelMode::Naive
+        } else {
+            KernelMode::Engine
+        }),
+    }
+}
+
+/// Overrides (or with `None` restores) the process-wide kernel mode.
+///
+/// Both modes produce bit-identical results — the override only changes
+/// *how* they are computed, so flipping it is always safe; it exists for
+/// the equivalence invariant and the benchmark runner.
+pub fn set_kernel_mode(mode: Option<KernelMode>) {
+    let v = match mode {
+        None => 0,
+        Some(KernelMode::Engine) => 1,
+        Some(KernelMode::Naive) => 2,
+    };
+    MODE_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Cached norms and the guarded dot-product kernel
+// ---------------------------------------------------------------------
+
+/// Squared Euclidean norm of every row of a flat row-major `n × d` buffer,
+/// computed in parallel. Entry `i` equals `dot(row_i, row_i)` bit-for-bit.
+pub fn sq_norms(d: usize, flat: &[f64]) -> Vec<f64> {
+    assert!(d > 0, "dimensionality must be positive");
+    debug_assert_eq!(flat.len() % d, 0);
+    let n = flat.len() / d;
+    let chunk = (1usize << 14) / d.max(1) + 1;
+    multiclust_parallel::par_map_indexed(n, chunk, |i| {
+        let row = &flat[i * d..(i + 1) * d];
+        dot(row, row)
+    })
+}
+
+/// Squared distance via the dot-product formulation with cached norms
+/// `na = ‖a‖²`, `nb = ‖b‖²`. Returns `(value, guard_tripped)`: when the
+/// cancellation guard trips (estimate below [`GUARD_REL`] of the norm
+/// mass — the numerically risky regime), the value is recomputed with the
+/// naive per-pair form and is bit-identical to [`sq_dist`].
+#[inline]
+pub fn sq_dist_via_norms(a: &[f64], b: &[f64], na: f64, nb: f64) -> (f64, bool) {
+    let mass = na + nb;
+    let est = mass - 2.0 * dot(a, b);
+    if est < GUARD_REL * mass {
+        (sq_dist(a, b), true)
+    } else {
+        (est, false)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The reusable symmetric matrix builder
+// ---------------------------------------------------------------------
+
+/// A symmetric `n × n` matrix with zero diagonal, stored as the condensed
+/// strict upper triangle (`n·(n−1)/2` values). Built once, shared by every
+/// consumer: COALA's merge scan, spectral affinity, meta-clustering's
+/// pairwise solution matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SymmetricMatrix {
+    n: usize,
+    vals: Vec<f64>,
+}
+
+impl SymmetricMatrix {
+    /// Builds the matrix from an entry function over `i < j` pairs.
+    ///
+    /// Rows of the strict upper triangle are independent, so they compute
+    /// in parallel with bit-identical values at any thread count; the
+    /// entry function is only ever called with `i < j`.
+    pub fn build<F>(n: usize, f: F) -> Self
+    where
+        F: Fn(usize, usize) -> f64 + Sync,
+    {
+        let rows: Vec<Vec<f64>> = multiclust_parallel::par_map_indexed(n, 1, |i| {
+            ((i + 1)..n).map(|j| f(i, j)).collect()
+        });
+        let mut vals = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+        for r in &rows {
+            vals.extend_from_slice(r);
+        }
+        multiclust_telemetry::counter_add("kernels.matrix.builds", 1);
+        multiclust_telemetry::counter_add("kernels.matrix.entries", vals.len() as u64);
+        Self { n, vals }
+    }
+
+    /// Matrix order `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The condensed strict-upper-triangle values, row-major
+    /// (`(0,1) … (0,n−1), (1,2) … `).
+    pub fn values(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Entry `(i, j)`; the diagonal is zero by construction.
+    ///
+    /// # Panics
+    /// Panics when an index is out of range.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of range");
+        if i == j {
+            return 0.0;
+        }
+        let (i, j) = if i < j { (i, j) } else { (j, i) };
+        // Row i of the strict upper triangle starts after the first i rows,
+        // which hold (n−1) + (n−2) + … + (n−i) entries.
+        let row_start = i * (2 * self.n - i - 1) / 2;
+        self.vals[row_start + (j - i - 1)]
+    }
+
+    /// A new matrix with `f` applied to every stored entry (in parallel).
+    #[must_use]
+    pub fn map<F>(&self, f: F) -> Self
+    where
+        F: Fn(f64) -> f64 + Sync,
+    {
+        let chunks =
+            multiclust_parallel::par_chunks(&self.vals, 1 << 12, |_, c| -> Vec<f64> {
+                c.iter().map(|&v| f(v)).collect()
+            });
+        let mut vals = Vec::with_capacity(self.vals.len());
+        for c in &chunks {
+            vals.extend_from_slice(c);
+        }
+        Self { n: self.n, vals }
+    }
+}
+
+/// The squared-Euclidean-distance matrix of a flat row-major `n × d`
+/// buffer. Entries are bit-identical to [`sq_dist`] on the row pair.
+pub fn sq_dist_matrix(d: usize, flat: &[f64]) -> SymmetricMatrix {
+    assert!(d > 0, "dimensionality must be positive");
+    let n = flat.len() / d;
+    SymmetricMatrix::build(n, |i, j| {
+        sq_dist(&flat[i * d..(i + 1) * d], &flat[j * d..(j + 1) * d])
+    })
+}
+
+/// The Euclidean-distance matrix of a flat row-major `n × d` buffer.
+/// Entries are bit-identical to [`dist`] on the row pair.
+pub fn dist_matrix(d: usize, flat: &[f64]) -> SymmetricMatrix {
+    assert!(d > 0, "dimensionality must be positive");
+    let n = flat.len() / d;
+    SymmetricMatrix::build(n, |i, j| {
+        dist(&flat[i * d..(i + 1) * d], &flat[j * d..(j + 1) * d])
+    })
+}
+
+// ---------------------------------------------------------------------
+// Naive reference kernels
+// ---------------------------------------------------------------------
+
+/// The naive reference implementations: what every call site computed
+/// before the engine existed, kept for equivalence testing and as the
+/// speedup baseline of `multiclust bench`.
+pub mod reference {
+    use super::SymmetricMatrix;
+    use crate::vector::{dist, sq_dist};
+
+    /// Index and squared distance of the nearest centre to `row`:
+    /// an exhaustive scan with strict `<`, so the first minimum in index
+    /// order wins ties.
+    #[inline]
+    pub fn nearest(row: &[f64], centers: &[Vec<f64>]) -> (usize, f64) {
+        let mut best = (0, f64::INFINITY);
+        for (c, center) in centers.iter().enumerate() {
+            let d2 = sq_dist(row, center);
+            if d2 < best.1 {
+                best = (c, d2);
+            }
+        }
+        best
+    }
+
+    /// Index of the centre minimising the *computed Euclidean distance*
+    /// (not its square), first minimum on ties — the comparison PROCLUS
+    /// historically used for medoid localities.
+    #[inline]
+    pub fn nearest_by_dist(row: &[f64], centers: &[Vec<f64>]) -> usize {
+        let mut best = (0, f64::INFINITY);
+        for (c, center) in centers.iter().enumerate() {
+            let dc = dist(row, center);
+            if dc < best.1 {
+                best = (c, dc);
+            }
+        }
+        best.0
+    }
+
+    /// The squared-distance matrix by the naive double loop (serial).
+    pub fn sq_dist_matrix(d: usize, flat: &[f64]) -> SymmetricMatrix {
+        let n = flat.len() / d.max(1);
+        let mut vals = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                vals.push(sq_dist(&flat[i * d..(i + 1) * d], &flat[j * d..(j + 1) * d]));
+            }
+        }
+        SymmetricMatrix { n, vals }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bound-pruned nearest-centre assignment
+// ---------------------------------------------------------------------
+
+/// Kernel-call statistics of one assignment pass (also mirrored into the
+/// telemetry counters `kernels.*` when telemetry records).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AssignStats {
+    /// Points whose Hamerly test passed without computing any distance.
+    pub skipped: u64,
+    /// Points resolved after recomputing only the assigned-centre distance.
+    pub tightened: u64,
+    /// Points that needed a full (est-pruned) scan over all centres.
+    pub scanned: u64,
+    /// Exact naive `sq_dist` evaluations.
+    pub exact: u64,
+    /// Dot-product-form estimates.
+    pub estimates: u64,
+    /// Cancellation-guard trips (estimate discarded, naive form used).
+    pub guard_trips: u64,
+}
+
+impl AssignStats {
+    fn add(&mut self, o: &AssignStats) {
+        self.skipped += o.skipped;
+        self.tightened += o.tightened;
+        self.scanned += o.scanned;
+        self.exact += o.exact;
+        self.estimates += o.estimates;
+        self.guard_trips += o.guard_trips;
+    }
+
+    fn record(&self) {
+        multiclust_telemetry::counter_add("kernels.assign.skipped", self.skipped);
+        multiclust_telemetry::counter_add("kernels.assign.tightened", self.tightened);
+        multiclust_telemetry::counter_add("kernels.assign.scanned", self.scanned);
+        multiclust_telemetry::counter_add("kernels.exact", self.exact);
+        multiclust_telemetry::counter_add("kernels.estimates", self.estimates);
+        multiclust_telemetry::counter_add("kernels.guard_trips", self.guard_trips);
+    }
+}
+
+/// Outcome of one point in an assignment pass.
+struct PointOut {
+    label: usize,
+    ub: f64,
+    lb: f64,
+    stats: AssignStats,
+}
+
+/// Hamerly-style bound-pruned nearest-centre assignment with state carried
+/// across iterations.
+///
+/// Each point keeps an upper bound `ub` on its distance to its assigned
+/// centre and a lower bound `lb` on the distance to its second-closest
+/// centre. After the centres move, the bounds are updated by the centre
+/// drifts (inflated/deflated by a certified error slack); when
+/// `ub < max(s(a), lb)` — with `s(a)` half the distance from the assigned
+/// centre to its closest other centre — the assigned centre is *provably*
+/// the unique nearest and the whole inner loop is skipped. Points that
+/// fail the test recompute the assigned distance, and only then fall back
+/// to a full scan where the dot-product estimate prunes candidates and
+/// survivors are verified with the exact naive kernel.
+///
+/// The produced labels are bit-identical to
+/// [`reference::nearest`] per point at any thread count and in either
+/// [`KernelMode`] (in [`KernelMode::Naive`] the exhaustive scan runs
+/// directly).
+pub struct NearestAssign {
+    n: usize,
+    labels: Vec<usize>,
+    ub: Vec<f64>,
+    lb: Vec<f64>,
+    prev: Vec<Vec<f64>>,
+    ready: bool,
+}
+
+impl NearestAssign {
+    /// An assigner for `n` points with no history.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            labels: vec![0; n],
+            ub: vec![0.0; n],
+            lb: vec![0.0; n],
+            prev: Vec::new(),
+            ready: false,
+        }
+    }
+
+    /// The labels of the most recent [`NearestAssign::assign`] call.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Assigns every row of the flat `n × d` buffer `points` to its
+    /// nearest centre (`norms` must be [`sq_norms`] of `points`), and
+    /// returns this pass's kernel statistics.
+    ///
+    /// # Panics
+    /// Panics when `centers` is empty or the buffer sizes disagree with
+    /// the `n` the assigner was built for.
+    pub fn assign(
+        &mut self,
+        d: usize,
+        points: &[f64],
+        norms: &[f64],
+        centers: &[Vec<f64>],
+    ) -> AssignStats {
+        assert!(!centers.is_empty(), "at least one centre required");
+        assert_eq!(points.len(), self.n * d, "points buffer size mismatch");
+        assert_eq!(norms.len(), self.n, "norms cache size mismatch");
+        let k = centers.len();
+        let chunk = (1usize << 14) / (k * d.max(1)).max(1) + 1;
+
+        if kernel_mode() == KernelMode::Naive || k < PRUNE_MIN_K {
+            // Exhaustive reference scan (naive mode, or too few centres
+            // for pruning to pay); bounds are not maintained, so a later
+            // pruned call re-initialises from scratch.
+            self.ready = false;
+            self.labels = multiclust_parallel::par_map_indexed(self.n, chunk, |i| {
+                reference::nearest(&points[i * d..(i + 1) * d], centers).0
+            });
+            let stats = AssignStats {
+                scanned: self.n as u64,
+                exact: (self.n * k) as u64,
+                ..AssignStats::default()
+            };
+            stats.record();
+            return stats;
+        }
+
+        let cnorms: Vec<f64> = centers.iter().map(|c| dot(c, c)).collect();
+        let out: Vec<PointOut> = if self.ready && self.prev.len() == k {
+            // Upper bound on each centre's drift since the last pass.
+            let drift: Vec<f64> = (0..k)
+                .map(|c| inflate(dist(&self.prev[c], &centers[c]), d))
+                .collect();
+            let max_drift = drift.iter().cloned().fold(0.0f64, f64::max);
+            // s(c): half the (deflated) distance to the closest other
+            // centre — a certified lower bound, so `ub < s(a)` proves the
+            // assigned centre is the unique nearest.
+            let s: Vec<f64> = (0..k)
+                .map(|c| {
+                    let mind = (0..k)
+                        .filter(|&o| o != c)
+                        .map(|o| deflate(dist(&centers[c], &centers[o]), d))
+                        .fold(f64::INFINITY, f64::min);
+                    deflate(0.5 * mind, d)
+                })
+                .collect();
+            multiclust_parallel::par_map_indexed(self.n, chunk, |i| {
+                let row = &points[i * d..(i + 1) * d];
+                let a = self.labels[i];
+                let ub = inflate(self.ub[i] + drift[a], d);
+                let lb = deflate(self.lb[i] - max_drift, d);
+                let thresh = s[a].max(lb);
+                if ub < thresh {
+                    return PointOut {
+                        label: a,
+                        ub,
+                        lb,
+                        stats: AssignStats { skipped: 1, ..AssignStats::default() },
+                    };
+                }
+                // Tighten: the exact assigned-centre distance may already
+                // pass the test.
+                let da = sq_dist(row, &centers[a]).sqrt();
+                if da < thresh {
+                    return PointOut {
+                        label: a,
+                        ub: da,
+                        lb,
+                        stats: AssignStats {
+                            tightened: 1,
+                            exact: 1,
+                            ..AssignStats::default()
+                        },
+                    };
+                }
+                let mut stats = AssignStats { scanned: 1, exact: 1, ..Default::default() };
+                scan_point(row, norms[i], centers, &cnorms, d, &mut stats)
+            })
+        } else {
+            multiclust_parallel::par_map_indexed(self.n, chunk, |i| {
+                let row = &points[i * d..(i + 1) * d];
+                let mut stats = AssignStats { scanned: 1, ..Default::default() };
+                scan_point(row, norms[i], centers, &cnorms, d, &mut stats)
+            })
+        };
+
+        let mut stats = AssignStats::default();
+        for (i, p) in out.into_iter().enumerate() {
+            self.labels[i] = p.label;
+            self.ub[i] = p.ub;
+            self.lb[i] = p.lb;
+            stats.add(&p.stats);
+        }
+        self.prev = centers.to_vec();
+        self.ready = true;
+        stats.record();
+        stats
+    }
+}
+
+/// Full est-pruned scan of one point over all centres.
+///
+/// For each centre the dot-product estimate with certified margin either
+/// *proves* the centre loses to the best exact distance found so far
+/// (`est − margin > best`, in which case the naive kernel would also
+/// reject it) or the exact distance is computed and compared with strict
+/// `<` — so the result is the first minimum of the exhaustive scan,
+/// bit-for-bit. The returned lower bound on the second-closest distance
+/// uses exact values where computed and `est − margin` elsewhere.
+fn scan_point(
+    row: &[f64],
+    nx: f64,
+    centers: &[Vec<f64>],
+    cnorms: &[f64],
+    d: usize,
+    stats: &mut AssignStats,
+) -> PointOut {
+    let eps = slack(d);
+    let mut best = (0usize, f64::INFINITY);
+    // Two smallest certified lower bounds (value, centre) across all
+    // centres, for the second-closest bound.
+    let mut lo1 = (f64::INFINITY, usize::MAX);
+    let mut lo2 = f64::INFINITY;
+    for (c, center) in centers.iter().enumerate() {
+        let mass = nx + cnorms[c];
+        let est = mass - 2.0 * dot(row, center);
+        let margin = eps * mass;
+        stats.estimates += 1;
+        let guarded = est < GUARD_REL * mass;
+        let lo = if guarded || est - margin <= best.1 {
+            // Candidate (or numerically untrustworthy estimate): verify
+            // with the exact naive kernel.
+            stats.exact += 1;
+            if guarded {
+                stats.guard_trips += 1;
+            }
+            let d2 = sq_dist(row, center);
+            if d2 < best.1 {
+                best = (c, d2);
+            }
+            d2
+        } else {
+            // Certified: the exact d² is at least est − margin > best.
+            (est - margin).max(0.0)
+        };
+        if lo < lo1.0 {
+            lo2 = lo1.0;
+            lo1 = (lo, c);
+        } else if lo < lo2 {
+            lo2 = lo;
+        }
+    }
+    let second_lo = if lo1.1 == best.0 { lo2 } else { lo1.0 };
+    PointOut {
+        label: best.0,
+        ub: best.1.sqrt(),
+        lb: deflate(second_lo.sqrt(), d),
+        stats: *stats,
+    }
+}
+
+/// One-shot parallel nearest-centre assignment comparing *computed
+/// Euclidean distances* (first minimum on ties) — the comparison PROCLUS
+/// uses for medoid localities. Pruning works on certified squared-distance
+/// bounds: a pruned centre's `d²` provably exceeds the current best's, so
+/// its computed distance cannot strictly undercut it, and the surviving
+/// comparisons replicate [`reference::nearest_by_dist`] bit-for-bit.
+pub fn assign_by_dist(
+    d: usize,
+    points: &[f64],
+    norms: &[f64],
+    centers: &[Vec<f64>],
+) -> Vec<usize> {
+    assert!(!centers.is_empty(), "at least one centre required");
+    let n = points.len() / d.max(1);
+    let k = centers.len();
+    let chunk = (1usize << 14) / (k * d.max(1)).max(1) + 1;
+    if kernel_mode() == KernelMode::Naive || k < PRUNE_MIN_K {
+        return multiclust_parallel::par_map_indexed(n, chunk, |i| {
+            reference::nearest_by_dist(&points[i * d..(i + 1) * d], centers)
+        });
+    }
+    let eps = slack(d);
+    let cnorms: Vec<f64> = centers.iter().map(|c| dot(c, c)).collect();
+    let out: Vec<(usize, AssignStats)> =
+        multiclust_parallel::par_map_indexed(n, chunk, |i| {
+            let row = &points[i * d..(i + 1) * d];
+            let mut stats = AssignStats { scanned: 1, ..Default::default() };
+            // best: (centre, computed dist, computed d²).
+            let mut best = (0usize, f64::INFINITY, f64::INFINITY);
+            for (c, center) in centers.iter().enumerate() {
+                let mass = norms[i] + cnorms[c];
+                let est = mass - 2.0 * dot(row, center);
+                let margin = eps * mass;
+                stats.estimates += 1;
+                let guarded = est < GUARD_REL * mass;
+                if guarded || est - margin <= best.2 {
+                    stats.exact += 1;
+                    if guarded {
+                        stats.guard_trips += 1;
+                    }
+                    let d2 = sq_dist(row, center);
+                    let dc = d2.sqrt();
+                    if dc < best.1 {
+                        best = (c, dc, d2);
+                    }
+                }
+            }
+            (best.0, stats)
+        });
+    let mut stats = AssignStats::default();
+    let mut labels = Vec::with_capacity(n);
+    for (label, s) in out {
+        labels.push(label);
+        stats.add(&s);
+    }
+    stats.record();
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_flat(n: usize, d: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n * d).map(|_| rng.gen_range(-5.0..5.0)).collect()
+    }
+
+    #[test]
+    fn norms_match_recomputation() {
+        let flat = random_flat(40, 7, 1);
+        let norms = sq_norms(7, &flat);
+        for i in 0..40 {
+            let row = &flat[i * 7..(i + 1) * 7];
+            assert_eq!(norms[i], dot(row, row), "bit-identity of cached norm {i}");
+        }
+    }
+
+    #[test]
+    fn symmetric_matrix_matches_naive() {
+        let flat = random_flat(23, 5, 2);
+        let m = sq_dist_matrix(5, &flat);
+        let naive = reference::sq_dist_matrix(5, &flat);
+        assert_eq!(m, naive);
+        for i in 0..23 {
+            assert_eq!(m.get(i, i), 0.0);
+            for j in 0..23 {
+                assert_eq!(m.get(i, j), m.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn condensed_indexing_round_trips() {
+        let n = 9;
+        let m = SymmetricMatrix::build(n, |i, j| (i * 100 + j) as f64);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                assert_eq!(m.get(i, j), (i * 100 + j) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn guard_trips_on_duplicates_and_matches_naive() {
+        // Identical far-from-origin rows: est cancels to ~0, the guard
+        // must trip and return the naive value exactly.
+        let a = vec![1e9, -1e9, 3e8];
+        let b = a.clone();
+        let na = dot(&a, &a);
+        let (v, tripped) = sq_dist_via_norms(&a, &b, na, na);
+        assert!(tripped, "cancellation guard fires on duplicates");
+        assert_eq!(v, sq_dist(&a, &b));
+    }
+
+    #[test]
+    fn guard_does_not_trip_on_separated_points() {
+        let a = vec![0.0, 0.0];
+        let b = vec![3.0, 4.0];
+        let (v, tripped) =
+            sq_dist_via_norms(&a, &b, dot(&a, &a), dot(&b, &b));
+        assert!(!tripped);
+        assert!((v - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pruned_assignment_matches_reference_across_iterations() {
+        let n = 120;
+        let d = 6;
+        let flat = random_flat(n, d, 3);
+        let norms = sq_norms(d, &flat);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut centers: Vec<Vec<f64>> = (0..5)
+            .map(|_| (0..d).map(|_| rng.gen_range(-5.0..5.0)).collect())
+            .collect();
+        let mut assigner = NearestAssign::new(n);
+        // Drift the centres over several rounds; every round must match
+        // the exhaustive scan bit-for-bit.
+        for round in 0..6 {
+            assigner.assign(d, &flat, &norms, &centers);
+            for i in 0..n {
+                let want = reference::nearest(&flat[i * d..(i + 1) * d], &centers).0;
+                assert_eq!(
+                    assigner.labels()[i],
+                    want,
+                    "round {round}, point {i} diverged from the naive scan"
+                );
+            }
+            for c in &mut centers {
+                for x in c.iter_mut() {
+                    *x += rng.gen_range(-0.3..0.3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn later_rounds_skip_most_points() {
+        let n = 200;
+        let d = 4;
+        // Two tight, well-separated blobs.
+        let mut rng = StdRng::seed_from_u64(5);
+        let flat: Vec<f64> = (0..n)
+            .flat_map(|i| {
+                let base = if i % 2 == 0 { 0.0 } else { 50.0 };
+                (0..d)
+                    .map(|_| base + rng.gen_range(-0.5..0.5))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let norms = sq_norms(d, &flat);
+        // At least PRUNE_MIN_K centres so the pruned path engages.
+        let centers = vec![
+            vec![0.0; d],
+            vec![50.0; d],
+            vec![100.0; d],
+            vec![150.0; d],
+        ];
+        let mut assigner = NearestAssign::new(n);
+        assigner.assign(d, &flat, &norms, &centers);
+        // Stationary centres: the Hamerly test must skip everything.
+        let stats = assigner.assign(d, &flat, &norms, &centers);
+        assert_eq!(stats.skipped, n as u64, "all points skipped: {stats:?}");
+        assert_eq!(stats.exact, 0);
+    }
+
+    #[test]
+    fn assign_by_dist_matches_reference() {
+        let n = 80;
+        let d = 5;
+        let flat = random_flat(n, d, 6);
+        let norms = sq_norms(d, &flat);
+        let centers: Vec<Vec<f64>> =
+            (0..4).map(|c| flat[c * d..(c + 1) * d].to_vec()).collect();
+        let labels = assign_by_dist(d, &flat, &norms, &centers);
+        for i in 0..n {
+            assert_eq!(
+                labels[i],
+                reference::nearest_by_dist(&flat[i * d..(i + 1) * d], &centers)
+            );
+        }
+    }
+
+    #[test]
+    fn naive_mode_produces_identical_labels() {
+        let n = 60;
+        let d = 3;
+        let flat = random_flat(n, d, 7);
+        let norms = sq_norms(d, &flat);
+        let centers: Vec<Vec<f64>> =
+            (0..3).map(|c| flat[c * d..(c + 1) * d].to_vec()).collect();
+        let mut engine = NearestAssign::new(n);
+        engine.assign(d, &flat, &norms, &centers);
+        let engine_labels = engine.labels().to_vec();
+        // The naive branch inside the assigner.
+        set_kernel_mode(Some(KernelMode::Naive));
+        let mut naive = NearestAssign::new(n);
+        naive.assign(d, &flat, &norms, &centers);
+        let naive_labels = naive.labels().to_vec();
+        set_kernel_mode(None);
+        assert_eq!(engine_labels, naive_labels);
+    }
+
+    #[test]
+    fn below_prune_min_k_takes_exhaustive_path() {
+        let n = 30;
+        let d = 2;
+        let flat = random_flat(n, d, 8);
+        let norms = sq_norms(d, &flat);
+        let centers = vec![vec![0.25, -0.5]];
+        assert!(centers.len() < PRUNE_MIN_K);
+        let mut assigner = NearestAssign::new(n);
+        assigner.assign(d, &flat, &norms, &centers);
+        let stats = assigner.assign(d, &flat, &norms, &centers);
+        // With so few centres pruning cannot pay for its bookkeeping, so
+        // every point is scanned exactly — nothing skipped, no estimates.
+        assert_eq!(stats.skipped, 0);
+        assert_eq!(stats.scanned, n as u64);
+        assert_eq!(stats.exact, (n * centers.len()) as u64);
+        assert!(assigner.labels().iter().all(|&l| l == 0));
+    }
+}

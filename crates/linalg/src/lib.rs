@@ -24,6 +24,7 @@
 
 pub mod chol;
 pub mod eigen;
+pub mod kernels;
 pub mod matrix;
 pub mod pca;
 pub mod power;

@@ -11,6 +11,7 @@
 use multiclust_core::subspace::{SubspaceCluster, SubspaceClustering};
 use multiclust_core::Clustering;
 use multiclust_data::Dataset;
+use multiclust_linalg::kernels::{assign_by_dist, sq_norms};
 use multiclust_linalg::vector::dist;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -149,20 +150,16 @@ impl Proclus {
     /// `k·l` globally smallest z-scores with at least two per medoid.
     fn find_dimensions(&self, data: &Dataset, medoids: &[usize]) -> Vec<Vec<usize>> {
         let d = data.dims();
-        // Locality: nearest-medoid partition.
+        // Locality: nearest-medoid partition through the pruned engine
+        // kernel — first minimum of the computed Euclidean distances,
+        // matching the historical `min_by` scan bit-for-bit.
+        let medoid_rows: Vec<Vec<f64>> =
+            medoids.iter().map(|&m| data.row(m).to_vec()).collect();
+        let norms = sq_norms(d, data.as_slice());
+        let nearest = assign_by_dist(d, data.as_slice(), &norms, &medoid_rows);
         let mut locality: Vec<Vec<usize>> = vec![Vec::new(); self.k];
-        for i in 0..data.len() {
-            let nearest = medoids
-                .iter()
-                .enumerate()
-                .min_by(|a, b| {
-                    dist(data.row(i), data.row(*a.1))
-                        .partial_cmp(&dist(data.row(i), data.row(*b.1)))
-                        .unwrap()
-                })
-                .map(|(m, _)| m)
-                .expect("k >= 1");
-            locality[nearest].push(i);
+        for (i, &m) in nearest.iter().enumerate() {
+            locality[m].push(i);
         }
         // X[m][j]: mean |x_j − medoid_j| in m's locality; z-scores per m.
         let mut scored: Vec<(f64, usize, usize)> = Vec::with_capacity(self.k * d);

@@ -32,4 +32,18 @@ MULTICLUST_THREADS=4 ./target/release/multiclust verify > "$tmp/verify4.txt"
 cmp "$tmp/verify1.txt" "$tmp/verify4.txt"
 grep -q 'all .* checks passed' "$tmp/verify1.txt"
 
+# Distance-kernel engine: flipping the runtime kernel switch must not
+# change a command's stdout by a single byte, and the bench smoke run must
+# exit 0 with a parseable report naming every family.
+MULTICLUST_KERNELS=engine ./target/release/multiclust kmeans \
+    --input "$tmp/data.csv" --k 3 --seed 1 > "$tmp/engine.csv"
+MULTICLUST_KERNELS=naive ./target/release/multiclust kmeans \
+    --input "$tmp/data.csv" --k 3 --seed 1 > "$tmp/naive.csv"
+cmp "$tmp/engine.csv" "$tmp/naive.csv"
+./target/release/multiclust bench --smoke > "$tmp/bench.json" 2> "$tmp/bench.err"
+grep -q '"schema": "multiclust-bench/v1"' "$tmp/bench.json"
+for family in kmeans spectral coala dec-kmeans meta proclus; do
+    grep -q "\"id\": \"$family-n" "$tmp/bench.json"
+done
+
 echo "check.sh: all gates passed"

@@ -52,6 +52,7 @@ commands:
   compare      --a <labels.csv> --b <labels.csv>
   verify       [--family <name>] [--inject <fault>] [--seed <n>]
                [--golden-dir <dir>|none] [--bless]
+  bench        [--smoke] [--out <file>] [--seed <n>]
 
 common flags: --header            first CSV line is a header row
               --seed <n>          RNG seed (default 42)
@@ -61,7 +62,9 @@ common flags: --header            first CSV line is a header row
 output: CSV on stdout — one column per solution, label per object,
         -1 for noise; `subspace` prints one cluster per line instead;
         `compare` prints agreement measures; `verify` prints the
-        invariant × family matrix and exits non-zero on any violation.
+        invariant × family matrix and exits non-zero on any violation;
+        `bench` prints a distance-kernel benchmark report as JSON
+        (timings/progress go to stderr, `--out` also writes a file).
 ";
 
 fn main() -> ExitCode {
@@ -101,7 +104,7 @@ impl Outcome {
 struct Flags(HashMap<String, String>);
 
 /// Flags taking no value: bare `--flag` means "true".
-const BOOLEAN_FLAGS: &[&str] = &["header", "telemetry", "bless"];
+const BOOLEAN_FLAGS: &[&str] = &["header", "telemetry", "bless", "smoke"];
 
 impl Flags {
     fn parse(args: &[String]) -> Result<Self, String> {
@@ -191,6 +194,7 @@ fn run(args: Vec<String>) -> Result<Outcome, String> {
         "subspace" => cmd_subspace(&flags).map(Outcome::ok),
         "compare" => cmd_compare(&flags).map(Outcome::ok),
         "verify" => cmd_verify(&flags),
+        "bench" => cmd_bench(&flags).map(Outcome::ok),
         "help" | "--help" | "-h" => Ok(Outcome::ok(USAGE.to_string())),
         other => Err(format!("unknown command {other:?}")),
     }?;
@@ -408,6 +412,20 @@ fn cmd_verify(flags: &Flags) -> Result<Outcome, String> {
     };
     let report = verify(&opts)?;
     Ok(Outcome { output: report.render_text(), passed: report.passed() })
+}
+
+fn cmd_bench(flags: &Flags) -> Result<String, String> {
+    let smoke = flags.bool("smoke");
+    let seed = flags.parsed_or("seed", 42u64)?;
+    let report = multiclust::bench::perf::run_suite(smoke, seed);
+    // The aligned table goes to stderr with the progress lines; stdout is
+    // the JSON contract (`BenchReport::from_json` parses it back).
+    eprint!("{}", report.render_text());
+    let json = format!("{}\n", report.to_json());
+    if let Some(path) = flags.0.get("out") {
+        std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    Ok(json)
 }
 
 fn cmd_compare(flags: &Flags) -> Result<String, String> {

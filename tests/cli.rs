@@ -337,6 +337,85 @@ fn verify_with_telemetry_keeps_stdout_identical() {
     );
 }
 
+/// PR-4 acceptance: `multiclust bench --smoke` exits 0 and emits a
+/// parseable [`BenchReport`] on stdout with exactly one entry per
+/// benchmarked family, kernel counters included; `--out` writes the same
+/// bytes to a file.
+#[test]
+fn bench_smoke_emits_parseable_json() {
+    use multiclust::bench::perf::FAMILIES;
+    use multiclust::bench::report::BenchReport;
+
+    let dir = workdir("bench");
+    let out_path = dir.join("bench.json");
+    let out = bin()
+        .args(["bench", "--smoke", "--out", out_path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 stdout");
+    let report = BenchReport::from_json(&stdout).expect("stdout parses as a bench report");
+    let families: Vec<&str> = report.entries.iter().map(|e| e.family.as_str()).collect();
+    assert_eq!(families, FAMILIES, "one entry per family, in order");
+    for e in &report.entries {
+        assert!(e.wall_ms > 0.0, "{}", e.id);
+        assert!(e.baseline_ms.is_some() && e.speedup.is_some(), "{}", e.id);
+        assert!(
+            e.counters.keys().any(|k| k.starts_with("kernels.")),
+            "{} carries kernel counters",
+            e.id
+        );
+    }
+    assert_eq!(fs::read_to_string(&out_path).unwrap(), stdout, "--out mirrors stdout");
+
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(stderr.contains("bench: bench --smoke"), "table on stderr: {stderr}");
+}
+
+/// Flipping the runtime kernel switch must not change any command's
+/// stdout by a single byte: the engine is a pure optimization.
+#[test]
+fn kernel_mode_switch_keeps_stdout_identical() {
+    let dir = workdir("kernel-mode");
+    let fb = four_blob_square(20, 10.0, 0.6, &mut seeded_rng(807));
+    let input = dir.join("data.csv");
+    write_csv(&fb.dataset, &input).unwrap();
+    let labels_path = dir.join("given.csv");
+    let given_text: String = fb.horizontal.iter().map(|l| format!("{l}\n")).collect();
+    fs::write(&labels_path, given_text).unwrap();
+
+    let cases: Vec<Vec<&str>> = vec![
+        vec!["kmeans", "--input", input.to_str().unwrap(), "--k", "4", "--seed", "9"],
+        vec!["dec-kmeans", "--input", input.to_str().unwrap(), "--ks", "2,2"],
+        vec![
+            "alternative",
+            "--input",
+            input.to_str().unwrap(),
+            "--given",
+            labels_path.to_str().unwrap(),
+            "--k",
+            "2",
+            "--method",
+            "coala",
+        ],
+    ];
+    for args in &cases {
+        let engine = bin()
+            .args(args)
+            .env("MULTICLUST_KERNELS", "engine")
+            .output()
+            .expect("binary runs");
+        let naive = bin()
+            .args(args)
+            .env("MULTICLUST_KERNELS", "naive")
+            .output()
+            .expect("binary runs");
+        assert!(engine.status.success() && naive.status.success(), "{args:?}");
+        assert_eq!(engine.stdout, naive.stdout, "{args:?} diverged across kernel modes");
+    }
+}
+
 #[test]
 fn telemetry_text_mode_and_bad_mode() {
     let dir = workdir("telemetry-text");
