@@ -195,6 +195,10 @@ impl DecKMeans {
             }
         }
         multiclust_telemetry::counter_add("dec_kmeans.iterations", iterations as u64);
+        multiclust_telemetry::event(
+            "dec_kmeans.done",
+            &[("iterations", iterations as f64), ("budget", self.max_iter as f64)],
+        );
 
         // Final assignments and objective.
         for (t, rep_t) in reps.iter().enumerate() {

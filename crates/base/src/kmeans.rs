@@ -98,7 +98,11 @@ impl KMeans {
         if multiclust_telemetry::enabled() {
             multiclust_telemetry::event(
                 "kmeans.done",
-                &[("sse", best.sse), ("iterations", best.iterations as f64)],
+                &[
+                    ("sse", best.sse),
+                    ("iterations", best.iterations as f64),
+                    ("budget", self.max_iter as f64),
+                ],
             );
         }
         best

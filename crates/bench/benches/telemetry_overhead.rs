@@ -1,0 +1,93 @@
+//! What does observability cost? One k-means fit measured three ways:
+//!
+//! 1. telemetry disabled (the production default) — the per-call price is
+//!    a single relaxed atomic load per instrumentation point;
+//! 2. telemetry enabled, in-memory registry only (`--telemetry`);
+//! 3. telemetry enabled with a JSONL trace sink attached (`--trace`),
+//!    streaming every span and event to disk as it happens.
+//!
+//! The measured deltas are quoted in DESIGN.md's Observability section;
+//! re-run with `cargo bench --bench telemetry_overhead` after touching
+//! the registry or sink hot paths. Raw `event()` throughput is measured
+//! separately so the per-call cost is visible without the fit around it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use multiclust_base::kmeans::KMeans;
+use multiclust_data::seeded_rng;
+use multiclust_data::synthetic::four_blob_square;
+use multiclust_data::Dataset;
+use multiclust_telemetry as telemetry;
+use telemetry::trace;
+
+fn workload() -> Dataset {
+    four_blob_square(60, 10.0, 0.6, &mut seeded_rng(5001)).dataset
+}
+
+fn fit(data: &Dataset) {
+    let mut rng = seeded_rng(5002);
+    black_box(KMeans::new(4).with_restarts(3).fit(data, &mut rng));
+}
+
+fn bench_fit_overhead(c: &mut Criterion) {
+    let data = workload();
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+
+    telemetry::set_enabled(false);
+    group.bench_function("kmeans_disabled", |b| b.iter(|| fit(&data)));
+
+    telemetry::set_enabled(true);
+    telemetry::reset();
+    group.bench_function("kmeans_enabled", |b| b.iter(|| fit(&data)));
+
+    let sink = std::env::temp_dir()
+        .join(format!("multiclust-bench-trace-{}.jsonl", std::process::id()));
+    trace::open_trace(Some(&sink), false).expect("open trace sink");
+    telemetry::reset();
+    group.bench_function("kmeans_enabled_trace_sink", |b| b.iter(|| fit(&data)));
+    trace::flush_trace();
+    let _ = std::fs::remove_file(&sink);
+
+    telemetry::reset();
+    telemetry::set_enabled(false);
+    group.finish();
+}
+
+fn bench_event_call(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_event_call");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    telemetry::set_enabled(false);
+    group.bench_function("event_disabled", |b| {
+        b.iter(|| telemetry::event("bench.event", &[("x", black_box(1.0))]))
+    });
+
+    telemetry::set_enabled(true);
+    telemetry::reset();
+    group.bench_function("event_enabled", |b| {
+        b.iter(|| telemetry::event("bench.event", &[("x", black_box(1.0))]));
+        // Keep the registry from saturating its cap between samples.
+        telemetry::reset();
+    });
+
+    let sink = std::env::temp_dir()
+        .join(format!("multiclust-bench-event-{}.jsonl", std::process::id()));
+    trace::open_trace(Some(&sink), false).expect("open trace sink");
+    telemetry::reset();
+    group.bench_function("event_enabled_trace_sink", |b| {
+        b.iter(|| telemetry::event("bench.event", &[("x", black_box(1.0))]));
+        telemetry::reset();
+    });
+    trace::flush_trace();
+    let _ = std::fs::remove_file(&sink);
+
+    telemetry::reset();
+    telemetry::set_enabled(false);
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit_overhead, bench_event_call);
+criterion_main!(benches);

@@ -166,11 +166,11 @@ fn time_mode(mode: KernelMode, run: &dyn Fn()) -> f64 {
     ms
 }
 
-/// Kernel counters from one telemetry-instrumented engine run.
-fn harvest_counters(run: &dyn Fn()) -> std::collections::BTreeMap<String, u64> {
+/// Kernel counters from one telemetry-instrumented run under `mode`.
+fn harvest_counters(mode: KernelMode, run: &dyn Fn()) -> std::collections::BTreeMap<String, u64> {
     multiclust_telemetry::reset();
     multiclust_telemetry::set_enabled(true);
-    set_kernel_mode(Some(KernelMode::Engine));
+    set_kernel_mode(Some(mode));
     run();
     set_kernel_mode(None);
     multiclust_telemetry::set_enabled(false);
@@ -188,16 +188,25 @@ fn harvest_counters(run: &dyn Fn()) -> std::collections::BTreeMap<String, u64> {
 /// with telemetry off (recording would distort them), the counter run with
 /// it on, and the previous on/off state is restored afterwards.
 pub fn run_suite(smoke: bool, seed: u64) -> BenchReport {
+    run_suite_opts(smoke, seed, false)
+}
+
+/// [`run_suite`] with a deliberate-regression switch: `inject_naive`
+/// times and harvests the "engine" side under the naive kernels instead,
+/// so the `bench --compare` gate has a known-bad input to prove it fires
+/// (`scripts/check.sh` runs it negated).
+pub fn run_suite_opts(smoke: bool, seed: u64, inject_naive: bool) -> BenchReport {
     let telemetry_was = multiclust_telemetry::enabled();
     multiclust_telemetry::set_enabled(false);
+    let engine_mode = if inject_naive { KernelMode::Naive } else { KernelMode::Engine };
     let mut report = BenchReport::new(if smoke { "bench --smoke" } else { "bench" });
     for &family in FAMILIES {
         for n in sizes(family, smoke) {
             let w = build(family, n, seed);
-            let wall_ms = time_mode(KernelMode::Engine, w.run.as_ref());
+            let wall_ms = time_mode(engine_mode, w.run.as_ref());
             let baseline_ms = time_mode(KernelMode::Naive, w.run.as_ref());
             let speedup = baseline_ms / wall_ms;
-            let counters = harvest_counters(w.run.as_ref());
+            let counters = harvest_counters(engine_mode, w.run.as_ref());
             eprintln!(
                 "bench: {}-n{n}  engine {wall_ms:.1} ms  naive {baseline_ms:.1} ms  ({speedup:.2}x)",
                 w.family

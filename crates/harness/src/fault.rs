@@ -24,6 +24,10 @@ pub enum Fault {
     /// Flips one label in the naive-kernel refit, desynchronising it from
     /// the optimized-engine baseline — caught by `kernel-equivalence`.
     DesyncKernels,
+    /// Perturbs the RNG seed of the run made under an active trace sink,
+    /// simulating instrumentation that consumes randomness — caught by
+    /// `trace-invariance`.
+    TracePerturbsRng,
 }
 
 impl Fault {
@@ -35,6 +39,7 @@ impl Fault {
             Fault::AsymmetricDiss,
             Fault::OutOfBoundsMeasure,
             Fault::DesyncKernels,
+            Fault::TracePerturbsRng,
         ]
     }
 
@@ -46,6 +51,7 @@ impl Fault {
             Fault::AsymmetricDiss => "asymmetric-diss",
             Fault::OutOfBoundsMeasure => "out-of-bounds-measure",
             Fault::DesyncKernels => "desync-kernels",
+            Fault::TracePerturbsRng => "trace-perturbs-rng",
         }
     }
 
@@ -57,6 +63,7 @@ impl Fault {
             Fault::AsymmetricDiss => "diss-symmetry",
             Fault::OutOfBoundsMeasure => "diss-bounds",
             Fault::DesyncKernels => "kernel-equivalence",
+            Fault::TracePerturbsRng => "trace-invariance",
         }
     }
 

@@ -62,6 +62,7 @@ pub fn registry() -> Vec<Box<dyn Invariant>> {
         Box::new(DissSymmetry),
         Box::new(DissBounds),
         Box::new(KernelEquivalence),
+        Box::new(TraceInvariance),
     ]
 }
 
@@ -800,6 +801,85 @@ impl Invariant for KernelEquivalence {
             return Err(
                 "cancellation guard never fired on the ×1e9/×1e-9 scenario".to_string()
             );
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// 14. trace-invariance
+// ---------------------------------------------------------------------
+
+/// The trace sink streams, never participates: running under an active
+/// `MULTICLUST_TRACE` sink must reproduce every label bit-for-bit, and
+/// the file it leaves behind must be a well-formed `multiclust-trace/v1`
+/// document.
+pub struct TraceInvariance;
+
+impl Invariant for TraceInvariance {
+    fn name(&self) -> &'static str {
+        "trace-invariance"
+    }
+    fn description(&self) -> &'static str {
+        "solutions are bit-identical with a trace sink attached, and the trace parses"
+    }
+    fn applies(&self, _: &dyn AlgorithmFamily, _: &Scenario) -> bool {
+        true
+    }
+    fn check(&self, family: &dyn AlgorithmFamily, ctx: &CheckContext) -> Result<(), String> {
+        use multiclust_telemetry::trace;
+        // The sink and the telemetry switch are process-global; serialize
+        // and restore both (an outer `--trace` sink is reopened in append
+        // mode so this check does not truncate it).
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _guard = LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let s = ctx.scenario;
+        let was_on = multiclust_telemetry::enabled();
+        let outer_sink = trace::trace_path();
+        struct Restore(bool, Option<std::path::PathBuf>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let _ = trace::open_trace(self.1.as_deref(), true);
+                multiclust_telemetry::set_enabled(self.0);
+            }
+        }
+        let _restore = Restore(was_on, outer_sink);
+
+        multiclust_telemetry::set_enabled(false);
+        let _ = trace::set_trace_path(None);
+        let untraced = fit_with(family, s, &s.dataset, &s.given, ctx.seed);
+
+        let path = std::env::temp_dir().join(format!(
+            "multiclust-trace-invariance-{}-{}-{}.jsonl",
+            std::process::id(),
+            family.name(),
+            s.name
+        ));
+        trace::set_trace_path(Some(&path))
+            .map_err(|e| format!("cannot open trace sink: {e}"))?;
+        multiclust_telemetry::set_enabled(true);
+        // The fault models instrumentation that consumes randomness: the
+        // traced run sees a perturbed seed and must come back different.
+        let seed = if ctx.fault == Some(Fault::TracePerturbsRng) {
+            ctx.seed ^ 1
+        } else {
+            ctx.seed
+        };
+        let traced = fit_with(family, s, &s.dataset, &s.given, seed);
+        trace::flush_trace();
+        multiclust_telemetry::set_enabled(false);
+
+        let parsed = trace::read_trace(&path);
+        let _ = std::fs::remove_file(&path);
+
+        identical_solutions(&untraced, &traced)
+            .map_err(|e| format!("tracing moved labels: {e}"))?;
+        let parsed = parsed.map_err(|e| format!("trace does not parse: {e}"))?;
+        if !parsed.ended {
+            return Err("trace missing the end line (flush incomplete)".to_string());
+        }
+        if parsed.spans.is_empty() && parsed.events.is_empty() {
+            return Err("trace recorded no spans or events for the fit".to_string());
         }
         Ok(())
     }

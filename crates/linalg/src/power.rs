@@ -89,6 +89,10 @@ pub fn top_eigenpairs(
         }
     }
     multiclust_telemetry::counter_add("power.iterations", iterations as u64);
+    multiclust_telemetry::event(
+        "power.done",
+        &[("iterations", iterations as f64), ("budget", max_iter as f64)],
+    );
 
     // Sort by descending Rayleigh quotient (eigenvalue of A).
     let mut order: Vec<usize> = (0..k).collect();

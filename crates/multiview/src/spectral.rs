@@ -84,6 +84,7 @@ impl MultiViewSpectral {
     /// Panics when the σ (or weight) count differs from the view count.
     pub fn fit(&self, mv: &MultiViewDataset, rng: &mut StdRng) -> Clustering {
         assert_eq!(self.sigmas.len(), mv.num_views(), "one σ per view required");
+        let _span = multiclust_telemetry::span("multiview.fit");
         let n = mv.len();
         let weights: Vec<f64> = match &self.weights {
             Some(w) => {
@@ -96,6 +97,10 @@ impl MultiViewSpectral {
         // Convex combination of normalised affinities.
         let mut combined = Matrix::zeros(n, n);
         for (v, (&sigma, &weight)) in self.sigmas.iter().zip(&weights).enumerate() {
+            multiclust_telemetry::event(
+                "multiview.view",
+                &[("view", v as f64), ("weight", weight)],
+            );
             if weight == 0.0 {
                 continue;
             }
@@ -103,6 +108,14 @@ impl MultiViewSpectral {
             combined = &combined + &norm_w.scaled(weight);
         }
         let eig = SymmetricEigen::new(&combined);
+        // Objective trace: the eigengap behind the k-dimensional embedding
+        // — how cleanly the combined walk separates k blocks.
+        if multiclust_telemetry::enabled() && eig.values.len() > self.k {
+            multiclust_telemetry::event(
+                "multiview.embed",
+                &[("eigengap", eig.values[self.k - 1] - eig.values[self.k])],
+            );
+        }
         let mut rows: Vec<Vec<f64>> = (0..n)
             .map(|i| (0..self.k).map(|c| eig.vectors[(i, c)]).collect())
             .collect();

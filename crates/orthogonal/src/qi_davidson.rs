@@ -109,12 +109,19 @@ impl QiDavidson {
         clusterer: &dyn Clusterer,
         rng: &mut StdRng,
     ) -> QiDavidsonResult {
+        let _span = multiclust_telemetry::span("qidavidson.fit");
         let m = self.transform(data, given);
         let d = data.dims();
         let transformed = data.transformed(m.as_slice(), d);
         let clustering = clusterer.cluster(&transformed, rng);
         let before = foreign_mean_distance(data, given);
         let after = foreign_mean_distance(&transformed, given);
+        // Objective trace: the constraint drives the foreign-mean distance
+        // down; both sides of the transformation are already computed.
+        multiclust_telemetry::event(
+            "qidavidson.objective",
+            &[("foreign_before", before), ("foreign_after", after)],
+        );
         QiDavidsonResult {
             clustering,
             transform: m,

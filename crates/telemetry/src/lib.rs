@@ -44,6 +44,9 @@
 
 #![forbid(unsafe_code)]
 
+pub mod diagnose;
+pub mod trace;
+
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -77,10 +80,21 @@ pub fn enabled() -> bool {
 
 #[cold]
 fn init_from_env() -> bool {
-    let on = std::env::var("MULTICLUST_TELEMETRY").is_ok_and(|v| {
+    let mut on = std::env::var("MULTICLUST_TELEMETRY").is_ok_and(|v| {
         let v = v.trim().to_ascii_lowercase();
         !(v.is_empty() || v == "0" || v == "false" || v == "off")
     });
+    // `MULTICLUST_TRACE=<path>` implies recording: open the sink and turn
+    // telemetry on so the trace actually has content.
+    if let Ok(path) = std::env::var("MULTICLUST_TRACE") {
+        let path = path.trim();
+        if !path.is_empty() && !trace::trace_enabled() {
+            match trace::set_trace_path(Some(std::path::Path::new(path))) {
+                Ok(()) => on = true,
+                Err(e) => eprintln!("multiclust: cannot open MULTICLUST_TRACE={path}: {e}"),
+            }
+        }
+    }
     // Only flip from "uninitialised" so a racing `set_enabled` wins.
     let _ = STATE.compare_exchange(
         0,
@@ -205,11 +219,15 @@ impl Drop for SpanGuard {
             s.borrow_mut().pop();
         });
         with_registry(|r| {
-            let stat = r.spans.entry(path).or_default();
+            let stat = r.spans.entry(path.clone()).or_default();
             stat.count += 1;
             stat.total_ns += ns;
             stat.max_ns = stat.max_ns.max(ns);
         });
+        // Registry lock released before the sink lock is taken.
+        if trace::trace_enabled() {
+            trace::write_span(&path, ns);
+        }
     }
 }
 
@@ -266,19 +284,28 @@ pub fn event(name: &str, fields: &[(&str, f64)]) {
     if !enabled() {
         return;
     }
-    with_registry(|r| {
+    let seq = with_registry(|r| {
         let seq = r.seq;
         r.seq += 1;
         if r.events.len() >= MAX_EVENTS {
             r.dropped_events += 1;
-            return;
+            // Truncation is data, not a silent loss: surface it as a
+            // counter so both exporters show it alongside everything else.
+            *r.counters.entry("telemetry.events_dropped".to_string()).or_insert(0) += 1;
+            return seq;
         }
         r.events.push(Event {
             seq,
             name: name.to_string(),
             fields: fields.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
         });
+        seq
     });
+    // The sink is the durable record: it keeps streaming past the
+    // in-memory cap. Registry lock released before the sink lock.
+    if trace::trace_enabled() {
+        trace::write_event(seq, name, fields);
+    }
 }
 
 /// Clears all recorded data (spans, counters, histograms, events). The
@@ -455,12 +482,12 @@ impl Snapshot {
 
 /// `u64` → JSON integer, clamped into `i64` (the vendored value model's
 /// integer type).
-fn int(v: u64) -> Value {
+pub(crate) fn int(v: u64) -> Value {
     Value::Int(i64::try_from(v).unwrap_or(i64::MAX))
 }
 
 /// `f64` → JSON number, with non-finite values mapped to `null`.
-fn float(v: f64) -> Value {
+pub(crate) fn float(v: f64) -> Value {
     if v.is_finite() {
         Value::Float(v)
     } else {

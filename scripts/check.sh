@@ -46,4 +46,35 @@ for family in kmeans spectral coala dec-kmeans meta proclus; do
     grep -q "\"id\": \"$family-n" "$tmp/bench.json"
 done
 
+# Perf-regression gate: the current tree must pass against the checked-in
+# baseline, and the gate must prove it can fire by failing when the engine
+# is deliberately swapped for the naive kernels.
+./target/release/multiclust bench --smoke --compare BENCH_PR4.json \
+    > "$tmp/gate.json" 2> "$tmp/gate.err"
+grep -q 'gate: PASS' "$tmp/gate.err"
+if ./target/release/multiclust bench --smoke --inject-naive \
+    --compare BENCH_PR4.json > /dev/null 2> "$tmp/gate-bad.err"; then
+    echo "check.sh: injected naive regression was NOT caught" >&2
+    exit 1
+fi
+grep -q 'gate: FAIL' "$tmp/gate-bad.err"
+
+# Trace export + convergence diagnostics: `--trace` leaves stdout
+# byte-identical while streaming a versioned JSONL file that the
+# attribution, flamegraph and diagnose views all accept; a healthy
+# k-means trajectory diagnoses clean.
+./target/release/multiclust kmeans --input "$tmp/data.csv" --k 3 --seed 1 \
+    --trace "$tmp/run.trace.jsonl" > "$tmp/traced2.csv"
+cmp "$tmp/plain.csv" "$tmp/traced2.csv"
+head -1 "$tmp/run.trace.jsonl" | grep -q 'multiclust-trace/v1'
+grep -q '"type":"end"' "$tmp/run.trace.jsonl"
+./target/release/multiclust trace "$tmp/run.trace.jsonl" | grep -q 'kmeans.fit'
+./target/release/multiclust trace --collapse "$tmp/run.trace.jsonl" \
+    | grep -q '^kmeans.fit '
+./target/release/multiclust diagnose "$tmp/run.trace.jsonl" > "$tmp/diag.txt"
+grep -q 'kmeans.iter' "$tmp/diag.txt"
+
+# Baseline trend over the checked-in BENCH_*.json reports.
+./target/release/multiclust trend | grep -q 'kmeans-n1000'
+
 echo "check.sh: all gates passed"

@@ -35,6 +35,7 @@ use multiclust::orthogonal::{MetricFlip, QiDavidson};
 use multiclust::subspace::osclu::size_times_dims;
 use multiclust::subspace::redundancy::{rescu_select, statpc_select};
 use multiclust::subspace::{Clique, Osclu};
+use serde::Value;
 
 const USAGE: &str = "\
 multiclust — discovering multiple clustering solutions
@@ -53,22 +54,38 @@ commands:
   verify       [--family <name>] [--inject <fault>] [--seed <n>]
                [--golden-dir <dir>|none] [--bless]
   bench        [--smoke] [--out <file>] [--seed <n>]
+               [--compare <BENCH_*.json>] [--inject-naive]
+  trace        <trace.jsonl> | --collapse <trace.jsonl>
+  diagnose     <trace.jsonl> [--json]
+  trend        [--dir <dir>]
 
 common flags: --header            first CSV line is a header row
               --seed <n>          RNG seed (default 42)
               --telemetry[=json]  report spans/counters/convergence traces
                                   on stderr (stdout stays pipeable CSV)
+              --trace <file>      stream a multiclust-trace/v1 JSONL trace
+                                  of the run to <file> (implies telemetry;
+                                  stdout stays byte-identical)
 
 output: CSV on stdout — one column per solution, label per object,
         -1 for noise; `subspace` prints one cluster per line instead;
         `compare` prints agreement measures; `verify` prints the
         invariant × family matrix and exits non-zero on any violation;
         `bench` prints a distance-kernel benchmark report as JSON
-        (timings/progress go to stderr, `--out` also writes a file).
+        (timings/progress go to stderr, `--out` also writes a file;
+        `--compare` gates against a baseline report and exits non-zero
+        on regression); `trace` prints a per-phase time attribution (or
+        collapsed flamegraph stacks with --collapse); `diagnose` prints
+        convergence findings and exits non-zero on a violated objective
+        contract; `trend` tabulates all BENCH_*.json trajectories.
 ";
 
 fn main() -> ExitCode {
-    match run(std::env::args().skip(1).collect()) {
+    let result = run(std::env::args().skip(1).collect());
+    // Finalize the trace sink (counters, end line) whether the command
+    // succeeded or not; no-op when no sink is open.
+    multiclust::telemetry::trace::flush_trace();
+    match result {
         Ok(Outcome { output, passed }) => {
             print!("{output}");
             if passed {
@@ -100,20 +117,27 @@ impl Outcome {
     }
 }
 
-/// Parsed flag map: `--key value` pairs plus boolean `--header`.
-struct Flags(HashMap<String, String>);
+/// Parsed flag map: `--key value` pairs plus boolean `--header`, plus
+/// positional arguments (only `trace` and `diagnose` accept them).
+struct Flags {
+    map: HashMap<String, String>,
+    positional: Vec<String>,
+}
 
 /// Flags taking no value: bare `--flag` means "true".
-const BOOLEAN_FLAGS: &[&str] = &["header", "telemetry", "bless", "smoke"];
+const BOOLEAN_FLAGS: &[&str] = &["header", "telemetry", "bless", "smoke", "json", "inject-naive"];
 
 impl Flags {
     fn parse(args: &[String]) -> Result<Self, String> {
         let mut map = HashMap::new();
+        let mut positional = Vec::new();
         let mut i = 0;
         while i < args.len() {
-            let key = args[i]
-                .strip_prefix("--")
-                .ok_or_else(|| format!("expected a --flag, got {:?}", args[i]))?;
+            let Some(key) = args[i].strip_prefix("--") else {
+                positional.push(args[i].clone());
+                i += 1;
+                continue;
+            };
             if let Some((key, value)) = key.split_once('=') {
                 // `--key=value` form.
                 map.insert(key.to_string(), value.to_string());
@@ -129,11 +153,15 @@ impl Flags {
                 i += 2;
             }
         }
-        Ok(Self(map))
+        Ok(Self { map, positional })
+    }
+
+    fn get(&self, key: &str) -> Option<&String> {
+        self.map.get(key)
     }
 
     fn str(&self, key: &str) -> Result<&str, String> {
-        self.0
+        self.map
             .get(key)
             .map(String::as_str)
             .ok_or_else(|| format!("missing required flag --{key}"))
@@ -146,7 +174,7 @@ impl Flags {
     }
 
     fn parsed_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
-        match self.0.get(key) {
+        match self.map.get(key) {
             None => Ok(default),
             Some(v) => v
                 .parse()
@@ -155,7 +183,7 @@ impl Flags {
     }
 
     fn bool(&self, key: &str) -> bool {
-        self.0.contains_key(key)
+        self.map.contains_key(key)
     }
 }
 
@@ -167,7 +195,7 @@ enum TelemetryMode {
 }
 
 fn telemetry_mode(flags: &Flags) -> Result<Option<TelemetryMode>, String> {
-    match flags.0.get("telemetry").map(String::as_str) {
+    match flags.get("telemetry").map(String::as_str) {
         None => Ok(None),
         Some("true") | Some("text") => Ok(Some(TelemetryMode::Text)),
         Some("json") => Ok(Some(TelemetryMode::Json)),
@@ -182,9 +210,17 @@ fn run(args: Vec<String>) -> Result<Outcome, String> {
         return Err("no command given".into());
     };
     let flags = Flags::parse(rest)?;
+    if !matches!(command.as_str(), "trace" | "diagnose") {
+        if let Some(stray) = flags.positional.first() {
+            return Err(format!("unexpected argument {stray:?} (expected a --flag)"));
+        }
+    }
     let telemetry = telemetry_mode(&flags)?;
     if telemetry.is_some() {
         multiclust::telemetry::set_enabled(true);
+    }
+    if let Some(path) = flags.get("trace") {
+        setup_trace(path, command, &flags)?;
     }
     let outcome = match command.as_str() {
         "kmeans" => cmd_kmeans(&flags).map(Outcome::ok),
@@ -194,7 +230,10 @@ fn run(args: Vec<String>) -> Result<Outcome, String> {
         "subspace" => cmd_subspace(&flags).map(Outcome::ok),
         "compare" => cmd_compare(&flags).map(Outcome::ok),
         "verify" => cmd_verify(&flags),
-        "bench" => cmd_bench(&flags).map(Outcome::ok),
+        "bench" => cmd_bench(&flags),
+        "trace" => cmd_trace(&flags).map(Outcome::ok),
+        "diagnose" => cmd_diagnose(&flags),
+        "trend" => cmd_trend(&flags).map(Outcome::ok),
         "help" | "--help" | "-h" => Ok(Outcome::ok(USAGE.to_string())),
         other => Err(format!("unknown command {other:?}")),
     }?;
@@ -212,10 +251,37 @@ fn run(args: Vec<String>) -> Result<Outcome, String> {
     Ok(outcome)
 }
 
+/// Opens the `--trace` sink and stamps the run metadata line: command,
+/// seed, thread count, kernel mode. Dataset shape follows from
+/// [`load_data`] once the input is read.
+fn setup_trace(path: &str, command: &str, flags: &Flags) -> Result<(), String> {
+    use multiclust::telemetry::trace;
+    trace::set_trace_path(Some(Path::new(path)))
+        .map_err(|e| format!("flag --trace: cannot open {path}: {e}"))?;
+    multiclust::telemetry::set_enabled(true);
+    let kernel_mode = match multiclust::linalg::kernels::kernel_mode() {
+        multiclust::linalg::kernels::KernelMode::Engine => "engine",
+        multiclust::linalg::kernels::KernelMode::Naive => "naive",
+    };
+    trace::trace_meta(&[
+        ("command", Value::String(command.to_string())),
+        ("seed", Value::Int(flags.parsed_or("seed", 42i64)?)),
+        ("threads", Value::Int(multiclust::parallel::current_threads() as i64)),
+        ("kernel_mode", Value::String(kernel_mode.to_string())),
+    ]);
+    Ok(())
+}
+
 fn load_data(flags: &Flags) -> Result<Dataset, String> {
     let path = flags.str("input")?;
-    read_csv(Path::new(path), flags.bool("header"))
-        .map_err(|e| format!("reading {path}: {e}"))
+    let data = read_csv(Path::new(path), flags.bool("header"))
+        .map_err(|e| format!("reading {path}: {e}"))?;
+    // Dataset shape into the run metadata (no-op without a sink).
+    multiclust::telemetry::trace::trace_meta(&[
+        ("dataset_n", Value::Int(data.len() as i64)),
+        ("dataset_d", Value::Int(data.dims() as i64)),
+    ]);
+    Ok(data)
 }
 
 /// Loads a single-column integer label file into a `Clustering`
@@ -388,7 +454,7 @@ fn cmd_subspace(flags: &Flags) -> Result<String, String> {
 }
 
 fn cmd_verify(flags: &Flags) -> Result<Outcome, String> {
-    let fault = match flags.0.get("inject") {
+    let fault = match flags.get("inject") {
         None => None,
         Some(name) => {
             Some(Fault::parse(name).map_err(|e| format!("flag --inject: {e}"))?)
@@ -396,7 +462,7 @@ fn cmd_verify(flags: &Flags) -> Result<Outcome, String> {
     };
     // `--golden-dir none` skips the fixture layer, e.g. when probing a
     // single family or an injected fault away from the repo checkout.
-    let golden_dir = match flags.0.get("golden-dir").map(String::as_str) {
+    let golden_dir = match flags.get("golden-dir").map(String::as_str) {
         Some("none") => None,
         Some(dir) => Some(PathBuf::from(dir)),
         None => Some(PathBuf::from("tests/golden")),
@@ -405,7 +471,7 @@ fn cmd_verify(flags: &Flags) -> Result<Outcome, String> {
         || std::env::var("MULTICLUST_BLESS").map_or(false, |v| v == "1");
     let opts = VerifyOptions {
         seed: flags.parsed_or("seed", 42u64)?,
-        family: flags.0.get("family").cloned(),
+        family: flags.get("family").cloned(),
         fault,
         golden_dir,
         bless,
@@ -414,18 +480,109 @@ fn cmd_verify(flags: &Flags) -> Result<Outcome, String> {
     Ok(Outcome { output: report.render_text(), passed: report.passed() })
 }
 
-fn cmd_bench(flags: &Flags) -> Result<String, String> {
+fn cmd_bench(flags: &Flags) -> Result<Outcome, String> {
     let smoke = flags.bool("smoke");
     let seed = flags.parsed_or("seed", 42u64)?;
-    let report = multiclust::bench::perf::run_suite(smoke, seed);
+    let report =
+        multiclust::bench::perf::run_suite_opts(smoke, seed, flags.bool("inject-naive"));
     // The aligned table goes to stderr with the progress lines; stdout is
     // the JSON contract (`BenchReport::from_json` parses it back).
     eprint!("{}", report.render_text());
     let json = format!("{}\n", report.to_json());
-    if let Some(path) = flags.0.get("out") {
+    if let Some(path) = flags.get("out") {
         std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
     }
-    Ok(json)
+    // The regression gate: delta table to stderr, exit code carries the
+    // verdict, stdout stays the parseable report JSON.
+    let mut passed = true;
+    if let Some(path) = flags.get("compare") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("flag --compare: reading {path}: {e}"))?;
+        let baseline = multiclust::bench::report::BenchReport::from_json(&text)
+            .map_err(|e| format!("flag --compare: {path}: {e}"))?;
+        let noise = flags.parsed_or("noise", multiclust::bench::compare::DEFAULT_NOISE)?;
+        let comparison = multiclust::bench::compare::compare(&report, &baseline, noise);
+        eprint!("{}", comparison.text);
+        passed = comparison.passed();
+    }
+    Ok(Outcome { output: json, passed })
+}
+
+fn cmd_trace(flags: &Flags) -> Result<String, String> {
+    use multiclust::telemetry::trace;
+    let (path, collapse) = match flags.get("collapse") {
+        Some(p) => (p.as_str(), true),
+        None => {
+            let p = flags
+                .positional
+                .first()
+                .ok_or("trace needs a <trace.jsonl> argument (or --collapse <file>)")?;
+            (p.as_str(), false)
+        }
+    };
+    let parsed = trace::read_trace(Path::new(path))?;
+    if collapse {
+        Ok(trace::collapse_spans(&parsed))
+    } else {
+        let mut out = format!(
+            "trace {path}: {} lines, {} span completions, {} events{}\n",
+            parsed.lines,
+            parsed.spans.len(),
+            parsed.events.len(),
+            if parsed.ended { "" } else { " (NO end line — run did not flush)" }
+        );
+        out.push_str(&trace::phase_summary(&parsed));
+        Ok(out)
+    }
+}
+
+fn cmd_diagnose(flags: &Flags) -> Result<Outcome, String> {
+    use multiclust::telemetry::{diagnose, trace};
+    let path = flags
+        .positional
+        .first()
+        .ok_or("diagnose needs a <trace.jsonl> argument")?;
+    let parsed = trace::read_trace(Path::new(path))?;
+    let report = diagnose::analyze(&parsed, &diagnose::DiagnoseOptions::default());
+    let output = if flags.bool("json") {
+        format!("{}\n", report.to_json())
+    } else {
+        report.render_text()
+    };
+    Ok(Outcome { output, passed: !report.has_errors() })
+}
+
+fn cmd_trend(flags: &Flags) -> Result<String, String> {
+    let dir = flags.get("dir").map_or(".", String::as_str);
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("reading {dir}: {e}"))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no BENCH_*.json files found in {dir}"));
+    }
+    let mut reports = Vec::new();
+    for p in &paths {
+        let text = std::fs::read_to_string(p)
+            .map_err(|e| format!("reading {}: {e}", p.display()))?;
+        let report = multiclust::bench::report::BenchReport::from_json(&text)
+            .map_err(|e| format!("{}: {e}", p.display()))?;
+        let label = p
+            .file_stem()
+            .and_then(|n| n.to_str())
+            .unwrap_or("?")
+            .trim_start_matches("BENCH_")
+            .to_string();
+        reports.push((label, report));
+    }
+    Ok(multiclust::bench::compare::trend(&reports))
 }
 
 fn cmd_compare(flags: &Flags) -> Result<String, String> {

@@ -416,6 +416,176 @@ fn kernel_mode_switch_keeps_stdout_identical() {
     }
 }
 
+/// PR-5 acceptance: `--trace <file>` leaves stdout byte-identical while
+/// streaming a `multiclust-trace/v1` JSONL file that every downstream
+/// tool (`trace`, `trace --collapse`, `diagnose`) accepts.
+#[test]
+fn trace_flag_streams_jsonl_without_touching_stdout() {
+    let dir = workdir("trace");
+    let fb = four_blob_square(20, 10.0, 0.6, &mut seeded_rng(808));
+    let input = dir.join("data.csv");
+    write_csv(&fb.dataset, &input).unwrap();
+    let trace_path = dir.join("run.trace.jsonl");
+    let base_args =
+        ["kmeans", "--input", input.to_str().unwrap(), "--k", "4", "--seed", "11"];
+
+    let plain = bin().args(base_args).output().expect("binary runs");
+    assert!(plain.status.success());
+    let traced = bin()
+        .args(base_args)
+        .args(["--trace", trace_path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(traced.status.success(), "{}", String::from_utf8_lossy(&traced.stderr));
+    assert_eq!(plain.stdout, traced.stdout, "stdout must stay byte-identical");
+
+    // Every line of the sink file is standalone JSON; the first line
+    // carries the schema version; run metadata is present.
+    let raw = fs::read_to_string(&trace_path).expect("trace file written");
+    for (i, line) in raw.lines().enumerate() {
+        serde_json::from_str::<serde_json::Value>(line)
+            .unwrap_or_else(|e| panic!("trace line {}: {e}: {line}", i + 1));
+    }
+    assert!(
+        raw.starts_with(r#"{"type":"meta","schema":"multiclust-trace/v1"}"#),
+        "first line announces the schema: {raw}"
+    );
+    assert!(raw.contains(r#""command":"kmeans""#), "{raw}");
+    assert!(raw.contains(r#""dataset_n":80"#), "{raw}");
+    assert!(raw.contains(r#""type":"end""#), "flushed end line: {raw}");
+
+    // The attribution and flamegraph views both read it back.
+    let summary = bin()
+        .args(["trace", trace_path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(summary.status.success());
+    let text = String::from_utf8_lossy(&summary.stdout).to_string();
+    assert!(text.contains("kmeans.fit"), "{text}");
+    assert!(text.contains("self%"), "attribution columns: {text}");
+
+    let collapsed = bin()
+        .args(["trace", "--collapse", trace_path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(collapsed.status.success());
+    let stacks = String::from_utf8_lossy(&collapsed.stdout).to_string();
+    assert!(stacks.lines().any(|l| l.starts_with("kmeans.fit ")), "{stacks}");
+
+    // A healthy k-means trace diagnoses clean.
+    let diag = bin()
+        .args(["diagnose", trace_path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(diag.status.success(), "{}", String::from_utf8_lossy(&diag.stdout));
+    assert!(String::from_utf8_lossy(&diag.stdout).contains("kmeans.iter"));
+}
+
+/// A seeded non-monotone objective trajectory must flip `diagnose` to a
+/// non-zero exit and be named in both the text and JSON reports.
+#[test]
+fn diagnose_flags_non_monotone_trajectory() {
+    let dir = workdir("diagnose");
+    let bad = dir.join("bad.trace.jsonl");
+    fs::write(
+        &bad,
+        concat!(
+            "{\"type\":\"meta\",\"schema\":\"multiclust-trace/v1\"}\n",
+            "{\"type\":\"event\",\"seq\":0,\"name\":\"kmeans.iter\",",
+            "\"fields\":{\"restart\":0.0,\"iter\":0.0,\"inertia\":100.0}}\n",
+            "{\"type\":\"event\",\"seq\":1,\"name\":\"kmeans.iter\",",
+            "\"fields\":{\"restart\":0.0,\"iter\":1.0,\"inertia\":90.0}}\n",
+            "{\"type\":\"event\",\"seq\":2,\"name\":\"kmeans.iter\",",
+            "\"fields\":{\"restart\":0.0,\"iter\":2.0,\"inertia\":95.0}}\n",
+            "{\"type\":\"end\",\"events_dropped\":0,\"lines\":5}\n",
+        ),
+    )
+    .unwrap();
+
+    let out = bin().args(["diagnose", bad.to_str().unwrap()]).output().expect("runs");
+    assert!(!out.status.success(), "rising objective must fail the run");
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("non-monotone"), "{text}");
+    assert!(text.contains("kmeans.iter"), "{text}");
+
+    let json_out = bin()
+        .args(["diagnose", bad.to_str().unwrap(), "--json"])
+        .output()
+        .expect("runs");
+    assert!(!json_out.status.success());
+    let parsed: serde_json::Value =
+        serde_json::from_str(String::from_utf8_lossy(&json_out.stdout).trim())
+            .expect("diagnose --json emits JSON");
+    let serde_json::Value::Object(root) = parsed else { panic!("JSON object") };
+    assert!(root.iter().any(|(k, v)| k == "errors"
+        && matches!(v, serde_json::Value::Bool(true))));
+    assert!(root.iter().any(|(k, v)| k == "schema"
+        && matches!(v, serde_json::Value::String(s) if s == "multiclust-diagnose/v1")));
+}
+
+/// PR-5 acceptance: the perf-regression gate passes the real tree against
+/// the checked-in baseline and fails when the engine is swapped out for
+/// the naive kernels.
+#[test]
+fn bench_compare_gate_passes_clean_and_catches_injected_regression() {
+    let baseline = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("BENCH_PR4.json");
+    let baseline = baseline.to_str().unwrap();
+
+    let clean = bin()
+        .args(["bench", "--smoke", "--compare", baseline])
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&clean.stderr).to_string();
+    assert!(clean.status.success(), "clean tree must pass the gate: {stderr}");
+    assert!(stderr.contains("gate: PASS"), "{stderr}");
+    assert!(stderr.contains("engine-activity"), "{stderr}");
+
+    let injected = bin()
+        .args(["bench", "--smoke", "--inject-naive", "--compare", baseline])
+        .output()
+        .expect("binary runs");
+    let stderr = String::from_utf8_lossy(&injected.stderr).to_string();
+    assert!(!injected.status.success(), "naive swap must fail the gate: {stderr}");
+    assert!(stderr.contains("gate: FAIL"), "{stderr}");
+    assert!(stderr.contains("REGRESSION"), "{stderr}");
+}
+
+/// The 6th injectable fault: instrumentation that consumes randomness
+/// under an active trace sink must be caught by `trace-invariance`.
+#[test]
+fn verify_trace_fault_fails_with_named_invariant() {
+    let out = bin()
+        .args([
+            "verify",
+            "--family",
+            "kmeans",
+            "--inject",
+            "trace-perturbs-rng",
+            "--golden-dir",
+            "none",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "fault must fail the run");
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stdout.contains("violation: trace-invariance"), "{stdout}");
+    assert!(stdout.contains("tracing moved labels"), "{stdout}");
+}
+
+/// `trend` tabulates every checked-in `BENCH_*.json` in the repo root.
+#[test]
+fn trend_tabulates_checked_in_baselines() {
+    let out = bin()
+        .args(["trend", "--dir", env!("CARGO_MANIFEST_DIR")])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(text.contains("bench trend"), "{text}");
+    assert!(text.contains("kmeans-n1000"), "{text}");
+    assert!(text.contains("PR4"), "column per baseline: {text}");
+}
+
 #[test]
 fn telemetry_text_mode_and_bad_mode() {
     let dir = workdir("telemetry-text");

@@ -4,7 +4,10 @@
 //!    threads sum exactly;
 //! 2. the JSON exporter emits text the vendored `serde_json` parses;
 //! 3. telemetry never perturbs results — k-means and COALA outputs are
-//!    bit-identical with the switch on or off.
+//!    bit-identical with the switch on or off;
+//! 4. the trace sink streams parseable `multiclust-trace/v1` JSONL and
+//!    never perturbs results either;
+//! 5. events past the in-memory cap are counted, not silently lost.
 
 use std::sync::Mutex;
 
@@ -26,6 +29,7 @@ fn serialized<T>(f: impl FnOnce() -> T) -> T {
     let out = f();
     telemetry::reset();
     telemetry::set_enabled(false);
+    let _ = telemetry::trace::set_trace_path(None);
     parallel::set_threads(0);
     out
 }
@@ -106,4 +110,89 @@ fn results_bit_identical_with_telemetry_on_and_off() {
     assert_eq!(off.0, on.0, "k-means labels");
     assert_eq!(off.1, on.1, "k-means SSE bits");
     assert_eq!(off.2, on.2, "COALA partition");
+}
+
+/// The PR-5 trace sink: every line of the streamed file is standalone
+/// JSON, the first line carries the schema version, spans and events from
+/// a real fit land in the file, and results stay bit-identical whether a
+/// sink is attached or not.
+#[test]
+fn trace_sink_streams_parseable_jsonl_without_perturbing_results() {
+    use multiclust::telemetry::trace;
+
+    let path = std::env::temp_dir()
+        .join(format!("multiclust-test-trace-{}.jsonl", std::process::id()));
+    let (untraced, traced, parsed) = serialized(|| {
+        // Baseline fit with no sink.
+        let untraced = fit_both();
+        telemetry::reset();
+
+        // Same fit streamed to a trace file.
+        trace::open_trace(Some(&path), false).expect("open trace sink");
+        let traced = fit_both();
+        trace::flush_trace();
+
+        let parsed = trace::read_trace(&path).expect("trace parses");
+        (untraced, traced, parsed)
+    });
+    let raw = std::fs::read_to_string(&path).expect("trace file exists");
+    let _ = std::fs::remove_file(&path);
+
+    // Every line is a standalone JSON object.
+    for (i, line) in raw.lines().enumerate() {
+        let v: serde_json::Value = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("line {}: {e}: {line}", i + 1));
+        assert!(matches!(v, serde_json::Value::Object(_)), "line {}", i + 1);
+    }
+    // The first line announces the schema and the reader saw it.
+    assert!(raw.starts_with(r#"{"type":"meta","schema":"multiclust-trace/v1"}"#), "{raw}");
+    assert_eq!(parsed.schema.as_deref(), Some(trace::TRACE_SCHEMA));
+    assert!(parsed.ended, "end line written by flush");
+    assert_eq!(parsed.events_dropped, 0);
+
+    // Real instrumentation made it into the stream.
+    assert!(parsed.spans.iter().any(|(p, _)| p == "kmeans.fit"), "spans: {:?}", parsed.spans);
+    assert!(parsed.events.iter().any(|e| e.name == "kmeans.iter"));
+    assert!(parsed.events.iter().any(|e| e.name == "coala.merge"));
+
+    // And the sink observed without perturbing: identical results.
+    assert_eq!(untraced.0, traced.0, "k-means labels");
+    assert_eq!(untraced.1, traced.1, "k-means SSE bits");
+    assert_eq!(untraced.2, traced.2, "COALA partition");
+}
+
+/// Overflowing the in-memory event cap increments the
+/// `telemetry.events_dropped` counter (no more silent truncation) and
+/// both exporters surface it — while an attached trace sink still streams
+/// every event past the cap.
+#[test]
+fn event_cap_overflow_is_counted_and_streamed() {
+    use multiclust::telemetry::trace;
+
+    let overflow = 10u64;
+    let path = std::env::temp_dir()
+        .join(format!("multiclust-test-cap-{}.jsonl", std::process::id()));
+    let (snap, parsed) = serialized(|| {
+        trace::open_trace(Some(&path), false).expect("open trace sink");
+        for i in 0..(telemetry::MAX_EVENTS as u64 + overflow) {
+            telemetry::event("cap.test", &[("i", i as f64)]);
+        }
+        let snap = telemetry::snapshot();
+        trace::flush_trace();
+        let parsed = trace::read_trace(&path).expect("trace parses");
+        (snap, parsed)
+    });
+    let _ = std::fs::remove_file(&path);
+
+    assert_eq!(snap.events.len(), telemetry::MAX_EVENTS, "registry capped");
+    assert_eq!(snap.dropped_events, overflow);
+    assert_eq!(snap.counters["telemetry.events_dropped"], overflow);
+    assert!(snap.to_text().contains("telemetry.events_dropped"), "{}", snap.to_text());
+    assert!(snap.to_json().contains("telemetry.events_dropped"), "{}", snap.to_json());
+
+    // The sink is the durable record: nothing dropped there.
+    let streamed = parsed.events.iter().filter(|e| e.name == "cap.test").count() as u64;
+    assert_eq!(streamed, telemetry::MAX_EVENTS as u64 + overflow);
+    assert_eq!(parsed.events_dropped, overflow, "end line reports the drop count");
+    assert_eq!(parsed.counters["telemetry.events_dropped"], overflow);
 }
