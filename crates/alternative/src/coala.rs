@@ -14,7 +14,7 @@
 //! prefers quality, small `w` prefers dissimilarity (slide 33).
 
 use multiclust_core::measures::quality::{average_link, average_link_cached};
-use multiclust_linalg::kernels::{self, KernelMode, SymmetricMatrix};
+use multiclust_linalg::kernels::{self, SymmetricMatrix};
 use multiclust_core::taxonomy::{
     AlgorithmCard, Flexibility, GivenKnowledge, Processing, SearchSpace, Solutions,
     SubspaceAwareness,
@@ -81,7 +81,7 @@ impl Coala {
         // within a few hundred MB; `average_link_cached` accumulates in the
         // same order over the same values, so results are bit-identical.
         let dists: Option<SymmetricMatrix> =
-            if kernels::kernel_mode() == KernelMode::Engine && n <= 16_384 {
+            if kernels::kernel_mode().uses_engine() && n <= 16_384 {
                 Some(kernels::dist_matrix(data.dims(), data.as_slice()))
             } else {
                 None

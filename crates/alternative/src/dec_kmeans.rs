@@ -116,7 +116,12 @@ impl DecKMeans {
         let mut iterations = 0;
         // One bound-pruned assigner per clustering, all sharing the row
         // norms of the centred data; labels are bit-identical to the
-        // exhaustive `nearest` scan per point.
+        // exhaustive `nearest` scan per point. Representatives move a lot
+        // between alternations (the decorrelation solve drags them away
+        // from the means), which inflates the Hamerly drift bounds — the
+        // assigner's per-pass adaptive bypass detects this and switches to
+        // the panel-vectorized full scan (`kernels.assign.bypass`) instead
+        // of paying bound bookkeeping that prunes nothing.
         let norms = sq_norms(d, centred.as_slice());
         let mut assigners: Vec<NearestAssign> =
             (0..t_count).map(|_| NearestAssign::new(n)).collect();

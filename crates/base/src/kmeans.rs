@@ -121,8 +121,9 @@ impl KMeans {
         let mut iterations = 0;
         // Bound-pruned assignment through the shared kernel engine: labels
         // are bit-identical to the exhaustive `nearest` scan at any thread
-        // count and in either kernel mode (see DESIGN.md, "Distance
-        // engine").
+        // count and in every kernel tier — scalar `engine`, cache-blocked
+        // SIMD `blocked`, or `naive` (see DESIGN.md, "Distance engine" and
+        // "SIMD and blocking").
         let mut assigner = NearestAssign::new(n);
         for it in 0..self.max_iter {
             iterations = it + 1;

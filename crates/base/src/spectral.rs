@@ -8,7 +8,7 @@
 
 use multiclust_core::Clustering;
 use multiclust_data::Dataset;
-use multiclust_linalg::kernels::{self, KernelMode};
+use multiclust_linalg::kernels;
 use multiclust_linalg::power::top_eigenpairs;
 use multiclust_linalg::vector::{normalize, sq_dist};
 use multiclust_linalg::{Matrix, SymmetricEigen};
@@ -50,28 +50,21 @@ impl SpectralClustering {
 
     /// The Gaussian affinity matrix `W` with zero diagonal.
     ///
-    /// The engine path builds the shared symmetric squared-distance matrix
-    /// once (each pair evaluated a single time) and maps it through the
-    /// Gaussian; the naive reference recomputes each pair per cell. Both
-    /// yield the same bits: `sq_dist(x, y) == sq_dist(y, x)` exactly in
-    /// IEEE arithmetic, so the mirrored value equals the directly computed
-    /// one.
+    /// The engine tiers (`engine`, `blocked`) delegate to the fused
+    /// [`kernels::gaussian_affinity_matrix`] builder: panel-packed dot-form
+    /// distance rows, an underflow screen that certifies far pairs as exact
+    /// `+0.0` without calling `exp`, and a tiled mirror pass — each pair is
+    /// evaluated once and the `kernels.estimates` counter ticks per pair.
+    /// The naive reference recomputes each pair per cell. All paths yield
+    /// the same bits: the dot-form estimate never replaces the exact
+    /// subtractive `sq_dist`, and `sq_dist(x, y) == sq_dist(y, x)` exactly
+    /// in IEEE arithmetic, so the mirrored value equals the directly
+    /// computed one.
     pub fn affinity(&self, data: &Dataset) -> Matrix {
         let n = data.len();
         let denom = 2.0 * self.sigma * self.sigma;
-        if kernels::kernel_mode() == KernelMode::Engine {
-            let aff = kernels::sq_dist_matrix(data.dims(), data.as_slice())
-                .map(|d2| (-d2 / denom).exp());
-            let mut w = Matrix::zeros(n, n);
-            let mut it = aff.values().iter();
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    let a = *it.next().expect("condensed triangle length");
-                    w[(i, j)] = a;
-                    w[(j, i)] = a;
-                }
-            }
-            return w;
+        if kernels::kernel_mode().uses_engine() {
+            return kernels::gaussian_affinity_matrix(data.dims(), data.as_slice(), denom);
         }
         if multiclust_parallel::current_threads() == 1 {
             let mut w = Matrix::zeros(n, n);
@@ -98,7 +91,7 @@ impl SpectralClustering {
     pub fn embed(&self, data: &Dataset) -> Dataset {
         let _span = multiclust_telemetry::span("spectral.embed");
         let n = data.len();
-        let w = {
+        let mut w = {
             let _span = multiclust_telemetry::span("affinity");
             self.affinity(data)
         };
@@ -113,7 +106,23 @@ impl SpectralClustering {
                     0.0
                 }
             });
-        let norm_w = Matrix::par_from_fn(n, n, |i, j| dinv_sqrt[i] * w[(i, j)] * dinv_sqrt[j]);
+        // Normalise `W` into `D^{-1/2} W D^{-1/2}`. The engine tiers scale
+        // the affinity matrix in place, saving the second `n×n` allocation
+        // (for bench-scale n this is megabytes of traffic); naive keeps the
+        // historical out-of-place build as the reference. Both evaluate
+        // `dinv[i] * w * dinv[j]` in the same association order, so the
+        // scaled entries are bit-identical either way.
+        let norm_w = if kernels::kernel_mode().uses_engine() {
+            multiclust_parallel::par_chunks_mut(w.as_mut_slice(), n, |start, row| {
+                let di = dinv_sqrt[start / n];
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v = di * *v * dinv_sqrt[j];
+                }
+            });
+            w
+        } else {
+            Matrix::par_from_fn(n, n, |i, j| dinv_sqrt[i] * w[(i, j)] * dinv_sqrt[j])
+        };
         // Top-k eigenvectors as embedding rows. For small n a full Jacobi
         // decomposition is cheap; beyond the limit, block power iteration
         // computes only the k needed vectors (the normalised affinity's
@@ -214,6 +223,40 @@ mod tests {
         assert!(w.is_symmetric(0.0));
         for i in 0..10 {
             assert_eq!(w[(i, i)], 0.0);
+        }
+    }
+
+    /// The default (engine-tier) affinity path must reproduce the naive
+    /// per-pair Gaussian bit-for-bit. The naive expectation is computed
+    /// inline here rather than by flipping the process-global kernel mode,
+    /// so this test cannot race with concurrently running ones.
+    #[test]
+    fn affinity_engine_tier_matches_naive_bits() {
+        let mut rng = seeded_rng(68);
+        let (data, _) = gaussian_blobs(
+            &[vec![0.0, 0.0, 0.0], vec![6.0, -2.0, 3.0]],
+            1.1,
+            45,
+            &mut rng,
+        );
+        let sigma = 1.3;
+        let denom = 2.0 * sigma * sigma;
+        let w = SpectralClustering::new(2, sigma).affinity(&data);
+        for i in 0..data.len() {
+            for j in 0..data.len() {
+                let want = if i == j {
+                    0.0
+                } else {
+                    (-sq_dist(data.row(i), data.row(j)) / denom).exp()
+                };
+                assert_eq!(
+                    w[(i, j)].to_bits(),
+                    want.to_bits(),
+                    "entry ({i}, {j}): {} vs {}",
+                    w[(i, j)],
+                    want
+                );
+            }
         }
     }
 

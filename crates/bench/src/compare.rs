@@ -19,6 +19,15 @@
 //!    wall clock yet is exactly what a silent fallback to the naive path
 //!    looks like, and the counters are deterministic, so this rule works
 //!    across tiers and machines with zero noise.
+//! 4. **Spectral estimates** (new report, any tier): `kernels.estimates`
+//!    must tick for the spectral family — the affinity triangle entering
+//!    the dot-form path is the whole point of the blocked builder, and a
+//!    dead counter is exactly how the PR4-era fallback bug looked.
+//!
+//! Separately, [`check_floors`] asserts per-family speedup floors
+//! ([`FAMILY_FLOORS`], ≥ 1.0× everywhere) against a frozen checked-in
+//! report, so a family regressing behind the naive kernels can never land
+//! silently.
 
 use std::collections::BTreeMap;
 
@@ -143,6 +152,26 @@ pub fn compare(new: &BenchReport, base: &BenchReport, noise: f64) -> Comparison 
         act_table.row(&[family.to_string(), b.to_string(), n.to_string(), verdict]);
     }
 
+    // Spectral estimates subrule: the affinity triangle must go through the
+    // dot-form estimate path (`kernels.estimates` ticks once per pair). The
+    // counter sitting at zero is precisely the PR4-era bug where the
+    // builder silently fell back to per-pair subtractive arithmetic, so it
+    // is gated on the *new* report unconditionally — a baseline that also
+    // had it dead (like `BENCH_PR4.json`) must not grandfather it in.
+    let spectral_estimates: u64 = new
+        .entries
+        .iter()
+        .filter(|e| e.family == "spectral")
+        .filter_map(|e| e.counters.get("kernels.estimates"))
+        .sum();
+    if new.entries.iter().any(|e| e.family == "spectral") && spectral_estimates == 0 {
+        regressions.push(
+            "spectral: kernels.estimates == 0 — affinity triangle is not entering \
+             the dot-form estimate path"
+                .to_string(),
+        );
+    }
+
     let mut text = section(
         &format!("bench --compare: {} vs baseline {}", new.label, base.label),
         &table.render(),
@@ -152,6 +181,64 @@ pub fn compare(new: &BenchReport, base: &BenchReport, noise: f64) -> Comparison 
         text.push_str("gate: PASS (no regression beyond noise threshold)\n");
     } else {
         text.push_str(&format!("gate: FAIL ({} regression(s)):\n", regressions.len()));
+        for r in &regressions {
+            text.push_str(&format!("  - {r}\n"));
+        }
+    }
+    Comparison { text, regressions }
+}
+
+/// Per-family speedup floors for [`check_floors`]: every family must beat
+/// the naive kernels (≥ 1.0×). Spectral and Dec-kMeans are listed
+/// explicitly because they are the two families that *regressed* before
+/// the blocked tier (0.86× / 0.89× in `BENCH_PR4.json`) — the floor gate
+/// exists so that gap can never silently reopen.
+pub const FAMILY_FLOORS: &[(&str, f64)] = &[
+    ("kmeans", 1.0),
+    ("spectral", 1.0),
+    ("coala", 1.0),
+    ("dec-kmeans", 1.0),
+    ("meta", 1.0),
+    ("proclus", 1.0),
+];
+
+/// Asserts per-entry speedup floors on a (typically checked-in, full-tier)
+/// report: every entry of a floored family must show `speedup >= floor`.
+/// Run against a frozen `BENCH_*.json` this is fully deterministic — the
+/// numbers are in the file, not re-measured.
+pub fn check_floors(report: &BenchReport, floors: &[(&str, f64)]) -> Comparison {
+    let mut regressions = Vec::new();
+    let mut table = Table::new(&["id", "speedup", "floor", "verdict"]);
+    for e in &report.entries {
+        let Some(&(_, floor)) = floors.iter().find(|(f, _)| *f == e.family) else {
+            continue;
+        };
+        let Some(s) = e.speedup else {
+            regressions.push(format!("{}: no speedup recorded (floor {floor:.2}x)", e.id));
+            continue;
+        };
+        let ok = s >= floor;
+        if !ok {
+            regressions.push(format!(
+                "{}: speedup {s:.2}x below family floor {floor:.2}x",
+                e.id
+            ));
+        }
+        table.row(&[
+            e.id.clone(),
+            format!("{s:.2}x"),
+            format!("{floor:.2}x"),
+            if ok { "ok".into() } else { "BELOW FLOOR".to_string() },
+        ]);
+    }
+    let mut text = section(
+        &format!("bench --check-floors: {}", report.label),
+        &table.render(),
+    );
+    if regressions.is_empty() {
+        text.push_str("floors: PASS (every family beats the naive kernels)\n");
+    } else {
+        text.push_str(&format!("floors: FAIL ({} violation(s)):\n", regressions.len()));
         for r in &regressions {
             text.push_str(&format!("  - {r}\n"));
         }
@@ -281,6 +368,58 @@ mod tests {
         let c = compare(&report("new", vec![new]), &report("base", vec![base]), DEFAULT_NOISE);
         assert!(c.passed(), "{:?}", c.regressions);
         assert!(c.text.contains("no baseline entry"), "{}", c.text);
+    }
+
+    #[test]
+    fn spectral_dead_estimates_fail_even_with_dead_baseline() {
+        // PR4-era baseline: spectral activity from matrix builds only,
+        // estimates dead in BOTH reports. The subrule must still fire.
+        let counters = &[("kernels.matrix.builds", 2u64), ("kernels.estimates", 0)][..];
+        let base = entry("spectral-n100", "spectral", 10.0, 0.9, counters);
+        let new = entry("spectral-n100", "spectral", 10.0, 0.9, counters);
+        let c = compare(&report("new", vec![new]), &report("base", vec![base]), DEFAULT_NOISE);
+        assert!(!c.passed());
+        assert!(
+            c.regressions.iter().any(|r| r.contains("kernels.estimates")),
+            "{:?}",
+            c.regressions
+        );
+    }
+
+    #[test]
+    fn spectral_live_estimates_pass() {
+        let base = entry("spectral-n100", "spectral", 10.0, 0.9, &[("kernels.estimates", 0)]);
+        let new = entry("spectral-n100", "spectral", 10.0, 1.2, &[("kernels.estimates", 4950)]);
+        let c = compare(&report("new", vec![new]), &report("base", vec![base]), DEFAULT_NOISE);
+        assert!(c.passed(), "{:?}", c.regressions);
+    }
+
+    #[test]
+    fn floors_pass_at_or_above_one() {
+        let r = report(
+            "r",
+            vec![
+                entry("spectral-n1000", "spectral", 10.0, 1.0, &[]),
+                entry("dec-kmeans-n1000", "dec-kmeans", 10.0, 1.31, &[]),
+            ],
+        );
+        let c = check_floors(&r, FAMILY_FLOORS);
+        assert!(c.passed(), "{:?}", c.regressions);
+        assert!(c.text.contains("floors: PASS"), "{}", c.text);
+    }
+
+    #[test]
+    fn floors_fail_below_one() {
+        let r = report("r", vec![entry("spectral-n1000", "spectral", 10.0, 0.86, &[])]);
+        let c = check_floors(&r, FAMILY_FLOORS);
+        assert!(!c.passed());
+        assert!(c.regressions[0].contains("below family floor"), "{:?}", c.regressions);
+    }
+
+    #[test]
+    fn floors_ignore_unlisted_families() {
+        let r = report("r", vec![entry("other-n1000", "other", 10.0, 0.5, &[])]);
+        assert!(check_floors(&r, FAMILY_FLOORS).passed());
     }
 
     #[test]

@@ -25,14 +25,29 @@
 //!   the engine is a pure refactor of results (see DESIGN.md, "Distance
 //!   engine", for the proof sketch).
 //!
+//! * **A cache-blocked SIMD tier** ([`KernelMode::Blocked`], the default):
+//!   row panels are packed transposed into L1-sized tiles ([`block`]) and
+//!   the inner loops run *across pairs* — each lane accumulates its own
+//!   pair's sum in the same index order as the scalar kernel, so every
+//!   produced value is bit-identical to [`sq_dist`]/[`dot`] while the
+//!   loop vectorizes (via `core::arch` AVX2 behind a runtime feature
+//!   check, with a portable autovectorization-friendly fallback).
+//! * **An opt-in f32 estimate mode** (`MULTICLUST_KERNELS_F32=1` /
+//!   [`set_kernels_f32`]): pruning *estimates* are computed in f32 with a
+//!   certified error slack ([`slack32`]); every surviving candidate is
+//!   still verified with the exact f64 kernel, so labels stay bit-identical
+//!   to the naive scan even with f32 estimates enabled.
+//!
 //! The naive reference kernels live in [`reference`]; the `reference`
-//! cargo feature (or `MULTICLUST_KERNELS=naive`, or
+//! cargo feature (or `MULTICLUST_KERNELS=naive|engine|blocked`, or
 //! [`set_kernel_mode`]) routes all call sites through them for A/B
 //! testing and benchmarking.
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::OnceLock;
 
+use crate::block;
+use crate::matrix::Matrix;
 use crate::vector::{dist, dot, sq_dist};
 
 /// Relative cancellation-guard threshold: when the dot-product estimate of
@@ -69,6 +84,28 @@ fn deflate(x: f64, d: usize) -> f64 {
     (x * (1.0 - slack(d))).max(0.0)
 }
 
+/// Certified absolute error slack of the **f32 estimate path**, as a
+/// multiple of the norm mass: `|est32 − sq_dist(x, y)| ≤ slack32(d) · mass`
+/// for any inputs with `‖x‖² + ‖y‖² = mass`, where `est32` is the dot-form
+/// estimate computed from inputs rounded to `f32` and accumulated in `f32`
+/// in index order. The budget covers input rounding (one half-ULP per
+/// value), the `d`-term `f32` summation and the widening back to `f64`,
+/// with a factor ≥ 4 of headroom. Pruning decisions made with this margin
+/// are exactly as trustworthy as the f64 ones — only looser — so labels
+/// stay bit-identical while estimates get twice the SIMD lanes.
+pub fn slack32(d: usize) -> f64 {
+    16.0 * (d as f64 + 8.0) * f64::from(f32::EPSILON)
+}
+
+/// Underflow screen for Gaussian affinities, in units of the exponent
+/// `d²/denom`. A correctly rounded `exp(-x)` is `+0.0` for `x ≳ 745.2`;
+/// entries whose *certified lower bound* on the exponent exceeds this cut
+/// are written as `+0.0` without computing the exact distance or the
+/// `exp`. The cut sits far above the true threshold (≈ 7% headroom, i.e.
+/// dozens of orders of magnitude below the smallest subnormal), so the
+/// short-circuit is bit-identical to the naive result on any libm.
+pub const SCREEN_CUT: f64 = 800.0;
+
 // ---------------------------------------------------------------------
 // Kernel mode
 // ---------------------------------------------------------------------
@@ -76,14 +113,29 @@ fn deflate(x: f64, d: usize) -> f64 {
 /// Which kernel implementation the call sites route through.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum KernelMode {
-    /// The optimised engine (cached norms, shared matrices, bound pruning).
+    /// The scalar engine (cached norms, shared matrices, bound pruning).
     Engine,
+    /// The cache-blocked SIMD tier: everything [`KernelMode::Engine`] does,
+    /// plus packed-panel kernels (see [`crate::block`]) under the matrix
+    /// builders and assignment scans, and the adaptive Hamerly bypass.
+    /// The default.
+    Blocked,
     /// The naive reference: per-pair distances recomputed at every call,
     /// exhaustive assignment scans. Bit-identical results, no caching.
     Naive,
 }
 
-/// 0 = no override, 1 = engine, 2 = naive.
+impl KernelMode {
+    /// `true` for every optimised tier — call sites that gate caching or
+    /// matrix sharing check this instead of naming a specific tier, so a
+    /// new tier inherits every engine call site automatically.
+    #[inline]
+    pub fn uses_engine(self) -> bool {
+        self != KernelMode::Naive
+    }
+}
+
+/// 0 = no override, 1 = engine, 2 = naive, 3 = blocked.
 static MODE_OVERRIDE: AtomicU8 = AtomicU8::new(0);
 
 fn mode_from_env() -> Option<KernelMode> {
@@ -91,28 +143,31 @@ fn mode_from_env() -> Option<KernelMode> {
     *ENV.get_or_init(|| match std::env::var("MULTICLUST_KERNELS").as_deref() {
         Ok("naive") => Some(KernelMode::Naive),
         Ok("engine") => Some(KernelMode::Engine),
+        Ok("blocked") => Some(KernelMode::Blocked),
         _ => None,
     })
 }
 
 /// The active kernel mode: a [`set_kernel_mode`] override wins, then the
-/// `MULTICLUST_KERNELS` environment variable (`naive` / `engine`, read
-/// once), then the `reference` cargo feature, then [`KernelMode::Engine`].
+/// `MULTICLUST_KERNELS` environment variable (`naive` / `engine` /
+/// `blocked`, read once), then the `reference` cargo feature, then
+/// [`KernelMode::Blocked`].
 pub fn kernel_mode() -> KernelMode {
     match MODE_OVERRIDE.load(Ordering::Relaxed) {
         1 => KernelMode::Engine,
         2 => KernelMode::Naive,
+        3 => KernelMode::Blocked,
         _ => mode_from_env().unwrap_or(if cfg!(feature = "reference") {
             KernelMode::Naive
         } else {
-            KernelMode::Engine
+            KernelMode::Blocked
         }),
     }
 }
 
 /// Overrides (or with `None` restores) the process-wide kernel mode.
 ///
-/// Both modes produce bit-identical results — the override only changes
+/// Every mode produces bit-identical results — the override only changes
 /// *how* they are computed, so flipping it is always safe; it exists for
 /// the equivalence invariant and the benchmark runner.
 pub fn set_kernel_mode(mode: Option<KernelMode>) {
@@ -120,8 +175,47 @@ pub fn set_kernel_mode(mode: Option<KernelMode>) {
         None => 0,
         Some(KernelMode::Engine) => 1,
         Some(KernelMode::Naive) => 2,
+        Some(KernelMode::Blocked) => 3,
     };
     MODE_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// 0 = no override, 1 = on, 2 = off.
+static F32_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+fn f32_from_env() -> bool {
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        matches!(
+            std::env::var("MULTICLUST_KERNELS_F32").as_deref(),
+            Ok("1") | Ok("true") | Ok("on")
+        )
+    })
+}
+
+/// Whether the opt-in **f32 estimate mode** is active: a
+/// [`set_kernels_f32`] override wins, then the `MULTICLUST_KERNELS_F32`
+/// environment variable (`1` / `true` / `on`, read once), default off.
+///
+/// The flag only affects how pruning/screening *estimates* are computed in
+/// the blocked tier; every surviving candidate is re-verified with the
+/// exact `f64` kernel, so results are bit-identical either way.
+pub fn kernels_f32() -> bool {
+    match F32_OVERRIDE.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => f32_from_env(),
+    }
+}
+
+/// Overrides (or with `None` restores) the process-wide f32 estimate mode.
+pub fn set_kernels_f32(on: Option<bool>) {
+    let v = match on {
+        None => 0,
+        Some(true) => 1,
+        Some(false) => 2,
+    };
+    F32_OVERRIDE.store(v, Ordering::Relaxed);
 }
 
 // ---------------------------------------------------------------------
@@ -239,24 +333,190 @@ impl SymmetricMatrix {
     }
 }
 
+/// Builds the condensed strict upper triangle through the packed-panel
+/// kernels: one `pack` of the whole buffer, then each row streamed against
+/// the L1-sized panels covering its `j > i` columns. Values are
+/// bit-identical to the scalar kernels per entry (the panel lanes
+/// accumulate in the same index order).
+fn blocked_condensed(d: usize, flat: &[f64], take_sqrt: bool) -> SymmetricMatrix {
+    let n = flat.len() / d;
+    let packed = block::PackedPanels::pack(d, flat);
+    let rows: Vec<Vec<f64>> = multiclust_parallel::par_map_indexed(n, 1, |i| {
+        let row = &flat[i * d..(i + 1) * d];
+        let mut out = vec![0.0; n - i - 1];
+        packed.sq_dist_row(row, i + 1, &mut out);
+        if take_sqrt {
+            for v in &mut out {
+                *v = v.sqrt();
+            }
+        }
+        out
+    });
+    let mut vals = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+    for r in &rows {
+        vals.extend_from_slice(r);
+    }
+    multiclust_telemetry::counter_add("kernels.matrix.builds", 1);
+    multiclust_telemetry::counter_add("kernels.matrix.entries", vals.len() as u64);
+    SymmetricMatrix { n, vals }
+}
+
 /// The squared-Euclidean-distance matrix of a flat row-major `n × d`
-/// buffer. Entries are bit-identical to [`sq_dist`] on the row pair.
+/// buffer. Entries are bit-identical to [`sq_dist`] on the row pair; in
+/// any engine tier the triangle is computed through the cache-blocked
+/// panel kernels instead of per-pair scalar arithmetic.
 pub fn sq_dist_matrix(d: usize, flat: &[f64]) -> SymmetricMatrix {
     assert!(d > 0, "dimensionality must be positive");
     let n = flat.len() / d;
+    if kernel_mode().uses_engine() {
+        return blocked_condensed(d, flat, false);
+    }
     SymmetricMatrix::build(n, |i, j| {
         sq_dist(&flat[i * d..(i + 1) * d], &flat[j * d..(j + 1) * d])
     })
 }
 
 /// The Euclidean-distance matrix of a flat row-major `n × d` buffer.
-/// Entries are bit-identical to [`dist`] on the row pair.
+/// Entries are bit-identical to [`dist`] on the row pair; in any engine
+/// tier the triangle goes through the cache-blocked panel kernels.
 pub fn dist_matrix(d: usize, flat: &[f64]) -> SymmetricMatrix {
     assert!(d > 0, "dimensionality must be positive");
     let n = flat.len() / d;
+    if kernel_mode().uses_engine() {
+        return blocked_condensed(d, flat, true);
+    }
     SymmetricMatrix::build(n, |i, j| {
         dist(&flat[i * d..(i + 1) * d], &flat[j * d..(j + 1) * d])
     })
+}
+
+/// The full `n × n` Gaussian affinity matrix
+/// `w_ij = exp(−sq_dist(x_i, x_j)/denom)` with zero diagonal, built
+/// through the blocked panel kernels.
+///
+/// Per strict-upper-triangle entry the default path computes the exact
+/// squared distance with the panel-vectorized kernel (bit-identical to
+/// [`sq_dist`]) and screens it against [`SCREEN_CUT`]: an exponent that
+/// far past the underflow threshold makes `exp` return exactly `+0.0` on
+/// any libm, so the entry is written without the `exp` call. With
+/// [`kernels_f32`] on, a single-precision dot-form *estimate* row runs
+/// first and pairs whose certified exponent lower bound clears the cut
+/// skip the exact distance too; survivors are always re-verified in exact
+/// `f64`. Either way every entry is bit-identical to the naive per-pair
+/// build, and each pair ticks `kernels.estimates` for its screening test.
+/// The lower triangle is mirrored in cache-sized tiles at the end.
+pub fn gaussian_affinity_matrix(d: usize, flat: &[f64], denom: f64) -> Matrix {
+    assert!(d > 0, "dimensionality must be positive");
+    assert!(denom > 0.0, "denominator must be positive");
+    let n = flat.len() / d;
+    let packed = block::PackedPanels::pack(d, flat);
+    let use_f32 = kernels_f32();
+    let norms = if use_f32 { sq_norms(d, flat) } else { Vec::new() };
+    let packed32 =
+        use_f32.then(|| (block::PackedPanelsF32::pack(d, flat), block::to_f32(flat)));
+    let eps = slack32(d);
+    let cut = SCREEN_CUT * denom;
+    let estimates = AtomicU64::new(0);
+    let screened = AtomicU64::new(0);
+
+    let mut w = Matrix::zeros(n, n);
+    // Fill the strict upper triangle row-block by row-block; each chunk
+    // owns whole output rows, so blocks parallelise without aliasing and
+    // the values are identical at any thread count.
+    let chunk_rows = multiclust_parallel::block_rows(n * d);
+    multiclust_parallel::par_chunks_mut(w.as_mut_slice(), chunk_rows * n, |start, buf| {
+        let i0 = start / n;
+        // Scratch shared by the rows of this chunk.
+        let mut dots = vec![0.0f64; if use_f32 { n } else { 0 }];
+        let mut dots32 = vec![0.0f32; if use_f32 { n } else { 0 }];
+        let mut d2 = vec![0.0f64; n];
+        let mut est_count = 0u64;
+        let mut screen_count = 0u64;
+        for (r, wrow) in buf.chunks_mut(n).enumerate() {
+            let i = i0 + r;
+            let lo = i + 1;
+            if lo >= n {
+                continue;
+            }
+            let m = n - lo;
+            let row = &flat[i * d..(i + 1) * d];
+            est_count += m as u64;
+            if let Some((p32, flat32)) = &packed32 {
+                // f32 estimate screen: a certified exponent lower bound
+                // past the cut proves the exact entry underflows.
+                p32.dot_row(&flat32[i * d..(i + 1) * d], lo, &mut dots32[..m]);
+                for (dst, &v) in dots[..m].iter_mut().zip(&dots32[..m]) {
+                    *dst = f64::from(v);
+                }
+                let mut survivors = 0usize;
+                for c in 0..m {
+                    let mass = norms[i] + norms[lo + c];
+                    if (mass - 2.0 * dots[c]) - eps * mass <= cut {
+                        survivors += 1;
+                    }
+                }
+                screen_count += (m - survivors) as u64;
+                if survivors == 0 {
+                    wrow[lo..].fill(0.0);
+                    continue;
+                }
+                packed.sq_dist_row(row, lo, &mut d2[..m]);
+                for c in 0..m {
+                    let mass = norms[i] + norms[lo + c];
+                    wrow[lo + c] = if (mass - 2.0 * dots[c]) - eps * mass > cut {
+                        0.0
+                    } else {
+                        (-d2[c] / denom).exp()
+                    };
+                }
+            } else {
+                // Default path: exact panel-vectorized distances, screened
+                // directly — `d² > cut` certifies the exponent is far past
+                // the libm underflow threshold, so `exp` is skipped.
+                packed.sq_dist_row(row, lo, &mut d2[..m]);
+                for c in 0..m {
+                    let v = d2[c];
+                    wrow[lo + c] = if v > cut {
+                        screen_count += 1;
+                        0.0
+                    } else {
+                        (-v / denom).exp()
+                    };
+                }
+            }
+        }
+        estimates.fetch_add(est_count, Ordering::Relaxed);
+        screened.fetch_add(screen_count, Ordering::Relaxed);
+    });
+
+    // Mirror the triangle in cache-sized tiles (transpose-style blocking
+    // keeps both the read rows and the written columns resident).
+    let data = w.as_mut_slice();
+    const TB: usize = 64;
+    let mut ib = 0;
+    while ib < n {
+        let imax = (ib + TB).min(n);
+        let mut jb = ib;
+        while jb < n {
+            let jmax = (jb + TB).min(n);
+            for i in ib..imax {
+                for j in (jb.max(i + 1))..jmax {
+                    data[j * n + i] = data[i * n + j];
+                }
+            }
+            jb += TB;
+        }
+        ib += TB;
+    }
+
+    multiclust_telemetry::counter_add("kernels.matrix.builds", 1);
+    multiclust_telemetry::counter_add(
+        "kernels.matrix.entries",
+        (n * n.saturating_sub(1) / 2) as u64,
+    );
+    multiclust_telemetry::counter_add("kernels.estimates", estimates.into_inner());
+    multiclust_telemetry::counter_add("kernels.screen.pruned", screened.into_inner());
+    w
 }
 
 // ---------------------------------------------------------------------
@@ -333,6 +593,9 @@ pub struct AssignStats {
     pub estimates: u64,
     /// Cancellation-guard trips (estimate discarded, naive form used).
     pub guard_trips: u64,
+    /// Passes where the adaptive bypass dropped Hamerly bookkeeping and
+    /// took the vectorized full scan instead (blocked tier only).
+    pub bypass: u64,
 }
 
 impl AssignStats {
@@ -343,6 +606,7 @@ impl AssignStats {
         self.exact += o.exact;
         self.estimates += o.estimates;
         self.guard_trips += o.guard_trips;
+        self.bypass += o.bypass;
     }
 
     fn record(&self) {
@@ -352,6 +616,112 @@ impl AssignStats {
         multiclust_telemetry::counter_add("kernels.exact", self.exact);
         multiclust_telemetry::counter_add("kernels.estimates", self.estimates);
         multiclust_telemetry::counter_add("kernels.guard_trips", self.guard_trips);
+        multiclust_telemetry::counter_add("kernels.assign.bypass", self.bypass);
+    }
+}
+
+/// Per-pass state of the blocked assignment scan: the centres packed once
+/// into panels (plus their `f32` twins when the estimate mode is on) and
+/// the matching certified slack. A point's whole estimate row is computed
+/// by one panel sweep; the decisions fed by those estimates are identical
+/// to the scalar engine's (the `f64` panel dots are bit-identical to
+/// [`dot`], and the `f32` ones carry the wider [`slack32`] margin).
+struct BlockedScan {
+    centers: block::PackedPanels,
+    est32: Option<(block::PackedPanelsF32, Vec<f32>)>,
+    eps: f64,
+}
+
+impl BlockedScan {
+    fn new(d: usize, points: &[f64], centers: &[Vec<f64>]) -> Self {
+        let use_f32 = kernels_f32();
+        Self {
+            centers: block::PackedPanels::pack_rows(d, centers),
+            est32: use_f32
+                .then(|| (block::PackedPanelsF32::pack_rows(d, centers), block::to_f32(points))),
+            eps: if use_f32 { slack32(d) } else { slack(d) },
+        }
+    }
+
+    /// Fills `dots[c] = dot(row_i, centre_c)` for all centres (f32-widened
+    /// when the estimate mode is on).
+    fn fill_dots(&self, i: usize, d: usize, row: &[f64], dots: &mut [f64]) {
+        if let Some((cp32, pts32)) = &self.est32 {
+            let k = dots.len();
+            let mut dots32 = [0.0f32; block::MAX_TILE_COLS];
+            cp32.dot_row(&pts32[i * d..(i + 1) * d], 0, &mut dots32[..k]);
+            for (dst, &v) in dots.iter_mut().zip(&dots32[..k]) {
+                *dst = f64::from(v);
+            }
+        } else {
+            self.centers.dot_row(row, 0, dots);
+        }
+    }
+}
+
+/// Panel-vectorized exact exhaustive sweep: every point against every
+/// centre, vectorized across *points* (so the SIMD lanes are full for any
+/// centre count, unlike the per-centre dot panels which need at least one
+/// full stripe of centres). Points are packed once; per cache-sized block
+/// of points each centre's exact squared-distance row is computed by the
+/// panel kernel — per-lane ascending-coordinate accumulation, bit-identical
+/// to [`sq_dist`] — then `per_point` receives each point's distance column.
+/// No estimates, no margins: every value is exact, so downstream
+/// first-minimum decisions replicate the naive scan bit-for-bit.
+fn exact_block_sweep<T, F>(d: usize, points: &[f64], centers: &[Vec<f64>], per_point: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &[f64]) -> T + Sync,
+{
+    let n = points.len() / d.max(1);
+    let k = centers.len();
+    let packed = block::PackedPanels::pack(d, points);
+    // Point-block size: keep the k × block d² tile around 32 KiB (L1).
+    let blk = (4096 / k.max(1)).clamp(16, block::MAX_TILE_COLS);
+    let n_blocks = n.div_ceil(blk);
+    let out: Vec<Vec<T>> = multiclust_parallel::par_map_indexed(n_blocks, 1, |b| {
+        let lo = b * blk;
+        let m = blk.min(n - lo);
+        let mut d2 = vec![0.0f64; k * m];
+        for (ci, center) in centers.iter().enumerate() {
+            packed.sq_dist_row(center, lo, &mut d2[ci * m..ci * m + m]);
+        }
+        let mut col = vec![0.0f64; k];
+        (0..m)
+            .map(|j| {
+                for (ci, slot) in col.iter_mut().enumerate() {
+                    *slot = d2[ci * m + j];
+                }
+                per_point(lo + j, &col)
+            })
+            .collect()
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// [`PointOut`] from a point's exact squared-distance column: first
+/// minimum for the label (identical comparisons to [`reference::nearest`])
+/// and the exact second-closest distance for the lower bound.
+fn exact_point_out(d: usize, col: &[f64]) -> PointOut {
+    let mut best = (0usize, f64::INFINITY);
+    let mut second = f64::INFINITY;
+    for (c, &v) in col.iter().enumerate() {
+        if v < best.1 {
+            second = best.1;
+            best = (c, v);
+        } else if v < second {
+            second = v;
+        }
+    }
+    PointOut {
+        label: best.0,
+        ub: best.1.sqrt(),
+        lb: deflate(second.sqrt(), d),
+        stats: AssignStats {
+            scanned: 1,
+            exact: col.len() as u64,
+            ..AssignStats::default()
+        },
     }
 }
 
@@ -428,14 +798,29 @@ impl NearestAssign {
         let k = centers.len();
         let chunk = (1usize << 14) / (k * d.max(1)).max(1) + 1;
 
+        let blocked_tier = kernel_mode() == KernelMode::Blocked;
         if kernel_mode() == KernelMode::Naive || k < PRUNE_MIN_K {
-            // Exhaustive reference scan (naive mode, or too few centres
-            // for pruning to pay); bounds are not maintained, so a later
-            // pruned call re-initialises from scratch.
+            // Exhaustive scan (naive mode, or too few centres for bound
+            // pruning to pay); bounds are not maintained, so a later
+            // pruned call re-initialises from scratch. The blocked tier
+            // still vectorizes the exhaustive scan across points — the
+            // values and first-minimum choices are exact either way.
             self.ready = false;
-            self.labels = multiclust_parallel::par_map_indexed(self.n, chunk, |i| {
-                reference::nearest(&points[i * d..(i + 1) * d], centers).0
-            });
+            self.labels = if blocked_tier {
+                exact_block_sweep(d, points, centers, |_, col| {
+                    let mut best = (0usize, f64::INFINITY);
+                    for (c, &v) in col.iter().enumerate() {
+                        if v < best.1 {
+                            best = (c, v);
+                        }
+                    }
+                    best.0
+                })
+            } else {
+                multiclust_parallel::par_map_indexed(self.n, chunk, |i| {
+                    reference::nearest(&points[i * d..(i + 1) * d], centers).0
+                })
+            };
             let stats = AssignStats {
                 scanned: self.n as u64,
                 exact: (self.n * k) as u64,
@@ -446,6 +831,26 @@ impl NearestAssign {
         }
 
         let cnorms: Vec<f64> = centers.iter().map(|c| dot(c, c)).collect();
+        let eps = slack(d);
+        // Blocked tier, large centre counts: pack the centres once per
+        // pass and feed the warm per-point scan from vectorized panel dots.
+        // Below a full SIMD stripe of centres the panel dots degenerate to
+        // scalar tails plus packing overhead, so small-k warm scans keep
+        // the scalar estimate path and the vectorization comes from the
+        // across-points exact sweep on cold/bypass passes instead.
+        let blocked = (blocked_tier && k >= block::STRIPE && k <= block::MAX_TILE_COLS)
+            .then(|| BlockedScan::new(d, points, centers));
+        let full_scan = |i: usize, mut stats: AssignStats| -> PointOut {
+            let row = &points[i * d..(i + 1) * d];
+            match &blocked {
+                Some(b) => {
+                    let mut dots = [0.0f64; block::MAX_TILE_COLS];
+                    b.fill_dots(i, d, row, &mut dots[..k]);
+                    scan_point(row, norms[i], centers, &cnorms, Some(&dots[..k]), b.eps, &mut stats)
+                }
+                None => scan_point(row, norms[i], centers, &cnorms, None, eps, &mut stats),
+            }
+        };
         let out: Vec<PointOut> = if self.ready && self.prev.len() == k {
             // Upper bound on each centre's drift since the last pass.
             let drift: Vec<f64> = (0..k)
@@ -464,43 +869,74 @@ impl NearestAssign {
                     deflate(0.5 * mind, d)
                 })
                 .collect();
-            multiclust_parallel::par_map_indexed(self.n, chunk, |i| {
-                let row = &points[i * d..(i + 1) * d];
-                let a = self.labels[i];
-                let ub = inflate(self.ub[i] + drift[a], d);
-                let lb = deflate(self.lb[i] - max_drift, d);
-                let thresh = s[a].max(lb);
-                if ub < thresh {
-                    return PointOut {
-                        label: a,
-                        ub,
-                        lb,
-                        stats: AssignStats { skipped: 1, ..AssignStats::default() },
-                    };
+            // Adaptive bypass (blocked tier): replay the Hamerly test on
+            // the stored bounds — an O(n) pretest with no distance
+            // computations — and when fewer than half the points would
+            // skip, drop the bound bookkeeping for this pass and run the
+            // vectorized full scan instead. Small-k workloads with large
+            // drifts (Dec-kMeans' per-view passes) are exactly where
+            // drift-inflated bounds stop paying. The full scan recomputes
+            // exact bounds, so the next pass can re-enter the test.
+            let bypass = blocked_tier && {
+                let mut would_skip = 0usize;
+                for i in 0..self.n {
+                    let a = self.labels[i];
+                    let ub = inflate(self.ub[i] + drift[a], d);
+                    let lb = deflate(self.lb[i] - max_drift, d);
+                    if ub < s[a].max(lb) {
+                        would_skip += 1;
+                    }
                 }
-                // Tighten: the exact assigned-centre distance may already
-                // pass the test.
-                let da = sq_dist(row, &centers[a]).sqrt();
-                if da < thresh {
-                    return PointOut {
-                        label: a,
-                        ub: da,
-                        lb,
-                        stats: AssignStats {
-                            tightened: 1,
-                            exact: 1,
-                            ..AssignStats::default()
-                        },
-                    };
+                2 * would_skip < self.n
+            };
+            if bypass {
+                let mut out =
+                    exact_block_sweep(d, points, centers, |_, col| exact_point_out(d, col));
+                if let Some(first) = out.first_mut() {
+                    first.stats.bypass = 1;
                 }
-                let mut stats = AssignStats { scanned: 1, exact: 1, ..Default::default() };
-                scan_point(row, norms[i], centers, &cnorms, d, &mut stats)
-            })
+                out
+            } else {
+                multiclust_parallel::par_map_indexed(self.n, chunk, |i| {
+                    let row = &points[i * d..(i + 1) * d];
+                    let a = self.labels[i];
+                    let ub = inflate(self.ub[i] + drift[a], d);
+                    let lb = deflate(self.lb[i] - max_drift, d);
+                    let thresh = s[a].max(lb);
+                    if ub < thresh {
+                        return PointOut {
+                            label: a,
+                            ub,
+                            lb,
+                            stats: AssignStats { skipped: 1, ..AssignStats::default() },
+                        };
+                    }
+                    // Tighten: the exact assigned-centre distance may
+                    // already pass the test.
+                    let da = sq_dist(row, &centers[a]).sqrt();
+                    if da < thresh {
+                        return PointOut {
+                            label: a,
+                            ub: da,
+                            lb,
+                            stats: AssignStats {
+                                tightened: 1,
+                                exact: 1,
+                                ..AssignStats::default()
+                            },
+                        };
+                    }
+                    full_scan(i, AssignStats { scanned: 1, exact: 1, ..Default::default() })
+                })
+            }
+        } else if blocked_tier {
+            // Cold pass, blocked tier: exact across-points sweep (full SIMD
+            // lanes at any centre count) seeds exact bounds for the warm
+            // passes.
+            exact_block_sweep(d, points, centers, |_, col| exact_point_out(d, col))
         } else {
             multiclust_parallel::par_map_indexed(self.n, chunk, |i| {
-                let row = &points[i * d..(i + 1) * d];
-                let mut stats = AssignStats { scanned: 1, ..Default::default() };
-                scan_point(row, norms[i], centers, &cnorms, d, &mut stats)
+                full_scan(i, AssignStats { scanned: 1, ..Default::default() })
             })
         };
 
@@ -527,15 +963,22 @@ impl NearestAssign {
 /// `<` — so the result is the first minimum of the exhaustive scan,
 /// bit-for-bit. The returned lower bound on the second-closest distance
 /// uses exact values where computed and `est − margin` elsewhere.
+///
+/// `dots` optionally supplies precomputed per-centre dot products (the
+/// blocked tier's panel sweep, possibly f32-widened); `eps` is the
+/// certified slack matching how they were computed ([`slack`] for exact
+/// f64 dots, [`slack32`] for f32 estimates). Either way every pruning
+/// margin stays certified, so the produced label is the same.
 fn scan_point(
     row: &[f64],
     nx: f64,
     centers: &[Vec<f64>],
     cnorms: &[f64],
-    d: usize,
+    dots: Option<&[f64]>,
+    eps: f64,
     stats: &mut AssignStats,
 ) -> PointOut {
-    let eps = slack(d);
+    let d = row.len();
     let mut best = (0usize, f64::INFINITY);
     // Two smallest certified lower bounds (value, centre) across all
     // centres, for the second-closest bound.
@@ -543,7 +986,11 @@ fn scan_point(
     let mut lo2 = f64::INFINITY;
     for (c, center) in centers.iter().enumerate() {
         let mass = nx + cnorms[c];
-        let est = mass - 2.0 * dot(row, center);
+        let dotv = match dots {
+            Some(ds) => ds[c],
+            None => dot(row, center),
+        };
+        let est = mass - 2.0 * dotv;
         let margin = eps * mass;
         stats.estimates += 1;
         let guarded = est < GUARD_REL * mass;
@@ -600,6 +1047,28 @@ pub fn assign_by_dist(
             reference::nearest_by_dist(&points[i * d..(i + 1) * d], centers)
         });
     }
+    if kernel_mode() == KernelMode::Blocked {
+        // Exact across-points sweep; the per-point comparison replays
+        // [`reference::nearest_by_dist`] on the same bits (the panel d²
+        // equals `sq_dist` exactly, so its square root equals [`dist`]).
+        let labels = exact_block_sweep(d, points, centers, |_, col| {
+            let mut best = (0usize, f64::INFINITY);
+            for (c, &v) in col.iter().enumerate() {
+                let dc = v.sqrt();
+                if dc < best.1 {
+                    best = (c, dc);
+                }
+            }
+            best.0
+        });
+        let stats = AssignStats {
+            scanned: n as u64,
+            exact: (n * k) as u64,
+            ..AssignStats::default()
+        };
+        stats.record();
+        return labels;
+    }
     let eps = slack(d);
     let cnorms: Vec<f64> = centers.iter().map(|c| dot(c, c)).collect();
     let out: Vec<(usize, AssignStats)> =
@@ -610,7 +1079,8 @@ pub fn assign_by_dist(
             let mut best = (0usize, f64::INFINITY, f64::INFINITY);
             for (c, center) in centers.iter().enumerate() {
                 let mass = norms[i] + cnorms[c];
-                let est = mass - 2.0 * dot(row, center);
+                let dotv = dot(row, center);
+                let est = mass - 2.0 * dotv;
                 let margin = eps * mass;
                 stats.estimates += 1;
                 let guarded = est < GUARD_REL * mass;
@@ -647,6 +1117,29 @@ mod tests {
     fn random_flat(n: usize, d: usize, seed: u64) -> Vec<f64> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n * d).map(|_| rng.gen_range(-5.0..5.0)).collect()
+    }
+
+    /// Runs `f` under a fixed kernel-mode / f32-mode override. The
+    /// overrides are process-global and tests run concurrently, so every
+    /// test that sets or *asserts on* mode-dependent statistics goes
+    /// through this lock; both switches are restored even on panic.
+    fn with_modes<T>(
+        mode: Option<KernelMode>,
+        f32_est: Option<bool>,
+        f: impl FnOnce() -> T,
+    ) -> T {
+        use std::sync::Mutex;
+        static LOCK: Mutex<()> = Mutex::new(());
+        let _guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        set_kernel_mode(mode);
+        set_kernels_f32(f32_est);
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+        set_kernel_mode(None);
+        set_kernels_f32(None);
+        match out {
+            Ok(v) => v,
+            Err(p) => std::panic::resume_unwind(p),
+        }
     }
 
     #[test]
@@ -737,11 +1230,9 @@ mod tests {
         }
     }
 
-    #[test]
-    fn later_rounds_skip_most_points() {
-        let n = 200;
-        let d = 4;
-        // Two tight, well-separated blobs.
+    /// Two tight blobs at 0 and 50 on every coordinate, plus four
+    /// well-separated centres (≥ `PRUNE_MIN_K`, so pruning engages).
+    fn blobs_and_centers(n: usize, d: usize) -> (Vec<f64>, Vec<f64>, Vec<Vec<f64>>) {
         let mut rng = StdRng::seed_from_u64(5);
         let flat: Vec<f64> = (0..n)
             .flat_map(|i| {
@@ -752,19 +1243,170 @@ mod tests {
             })
             .collect();
         let norms = sq_norms(d, &flat);
-        // At least PRUNE_MIN_K centres so the pruned path engages.
         let centers = vec![
             vec![0.0; d],
             vec![50.0; d],
             vec![100.0; d],
             vec![150.0; d],
         ];
-        let mut assigner = NearestAssign::new(n);
-        assigner.assign(d, &flat, &norms, &centers);
-        // Stationary centres: the Hamerly test must skip everything.
-        let stats = assigner.assign(d, &flat, &norms, &centers);
-        assert_eq!(stats.skipped, n as u64, "all points skipped: {stats:?}");
-        assert_eq!(stats.exact, 0);
+        (flat, norms, centers)
+    }
+
+    #[test]
+    fn later_rounds_skip_most_points() {
+        let n = 200;
+        let d = 4;
+        let (flat, norms, centers) = blobs_and_centers(n, d);
+        for mode in [KernelMode::Engine, KernelMode::Blocked] {
+            with_modes(Some(mode), None, || {
+                let mut assigner = NearestAssign::new(n);
+                assigner.assign(d, &flat, &norms, &centers);
+                // Stationary centres: the Hamerly test must skip everything
+                // (and the blocked tier's pretest must NOT bypass it).
+                let stats = assigner.assign(d, &flat, &norms, &centers);
+                assert_eq!(stats.skipped, n as u64, "{mode:?}: all skipped: {stats:?}");
+                assert_eq!(stats.exact, 0, "{mode:?}");
+                assert_eq!(stats.bypass, 0, "{mode:?}");
+            });
+        }
+    }
+
+    #[test]
+    fn adaptive_bypass_engages_then_reenters_hamerly() {
+        let n = 200;
+        let d = 4;
+        let (flat, norms, centers) = blobs_and_centers(n, d);
+        with_modes(Some(KernelMode::Blocked), None, || {
+            let mut assigner = NearestAssign::new(n);
+            assigner.assign(d, &flat, &norms, &centers);
+            // Shift every centre by 45 per coordinate: the drift (90 in
+            // distance) inflates every upper bound past the separation
+            // threshold, so the pretest predicts ~0 skips and the pass
+            // must bypass the bound bookkeeping entirely.
+            let moved: Vec<Vec<f64>> =
+                centers.iter().map(|c| c.iter().map(|x| x + 45.0).collect()).collect();
+            let stats = assigner.assign(d, &flat, &norms, &moved);
+            assert_eq!(stats.bypass, 1, "bypass engaged: {stats:?}");
+            assert_eq!(stats.skipped, 0);
+            assert_eq!(stats.tightened, 0);
+            assert_eq!(stats.scanned, n as u64);
+            for i in 0..n {
+                assert_eq!(
+                    assigner.labels()[i],
+                    reference::nearest(&flat[i * d..(i + 1) * d], &moved).0,
+                    "bypassed pass stays bit-identical (point {i})"
+                );
+            }
+            // The bypassed scan refreshed exact bounds: with the centres
+            // now stationary, the next pass re-enters Hamerly and skips
+            // every point instead of bypassing again.
+            let stats = assigner.assign(d, &flat, &norms, &moved);
+            assert_eq!(stats.bypass, 0, "{stats:?}");
+            assert_eq!(stats.skipped, n as u64, "{stats:?}");
+        });
+    }
+
+    #[test]
+    fn blocked_assignment_matches_reference_across_iterations() {
+        let n = 120;
+        let d = 6;
+        let flat = random_flat(n, d, 3);
+        let norms = sq_norms(d, &flat);
+        for f32_est in [false, true] {
+            with_modes(Some(KernelMode::Blocked), Some(f32_est), || {
+                let mut rng = StdRng::seed_from_u64(4);
+                let mut centers: Vec<Vec<f64>> = (0..5)
+                    .map(|_| (0..d).map(|_| rng.gen_range(-5.0..5.0)).collect())
+                    .collect();
+                let mut assigner = NearestAssign::new(n);
+                for round in 0..6 {
+                    assigner.assign(d, &flat, &norms, &centers);
+                    for i in 0..n {
+                        let want =
+                            reference::nearest(&flat[i * d..(i + 1) * d], &centers).0;
+                        assert_eq!(
+                            assigner.labels()[i],
+                            want,
+                            "f32={f32_est}, round {round}, point {i} diverged"
+                        );
+                    }
+                    for c in &mut centers {
+                        for x in c.iter_mut() {
+                            *x += rng.gen_range(-0.3..0.3);
+                        }
+                    }
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn blocked_matrix_builders_bit_identical() {
+        let flat = random_flat(37, 5, 12);
+        let naive_sq = reference::sq_dist_matrix(5, &flat);
+        for mode in [KernelMode::Engine, KernelMode::Blocked] {
+            with_modes(Some(mode), None, || {
+                assert_eq!(sq_dist_matrix(5, &flat), naive_sq, "{mode:?}");
+                let dm = dist_matrix(5, &flat);
+                for i in 0..37 {
+                    for j in (i + 1)..37 {
+                        let want = dist(&flat[i * 5..(i + 1) * 5], &flat[j * 5..(j + 1) * 5]);
+                        assert_eq!(dm.get(i, j).to_bits(), want.to_bits(), "{mode:?} ({i},{j})");
+                    }
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn gaussian_affinity_matches_naive_bits() {
+        let n = 41;
+        let d = 3;
+        let flat = random_flat(n, d, 13);
+        let denom = 2.0 * 1.3 * 1.3;
+        for f32_est in [false, true] {
+            with_modes(None, Some(f32_est), || {
+                let w = gaussian_affinity_matrix(d, &flat, denom);
+                for i in 0..n {
+                    for j in 0..n {
+                        let want = if i == j {
+                            0.0
+                        } else {
+                            (-sq_dist(&flat[i * d..(i + 1) * d], &flat[j * d..(j + 1) * d])
+                                / denom)
+                                .exp()
+                        };
+                        assert_eq!(
+                            w[(i, j)].to_bits(),
+                            want.to_bits(),
+                            "f32={f32_est} ({i},{j})"
+                        );
+                    }
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn gaussian_affinity_screen_underflows_to_exact_zero() {
+        // Two clusters 10⁶ apart: cross-pair exponents are ~2.5·10¹¹ —
+        // astronomically past SCREEN_CUT — so the screen must fire and the
+        // written +0.0 must equal the naive exp's underflow bit-for-bit.
+        let d = 2;
+        let flat = vec![0.0, 0.0, 1.0, 0.5, 1e6, 1e6, 1e6 + 1.0, 1e6 - 0.5];
+        let denom = 2.0;
+        let w = with_modes(None, None, || gaussian_affinity_matrix(d, &flat, denom));
+        for (i, j) in [(0, 2), (0, 3), (1, 2), (1, 3)] {
+            let want =
+                (-sq_dist(&flat[i * d..(i + 1) * d], &flat[j * d..(j + 1) * d]) / denom).exp();
+            assert_eq!(want.to_bits(), 0.0f64.to_bits(), "naive underflows to +0.0");
+            assert_eq!(w[(i, j)].to_bits(), want.to_bits(), "({i},{j})");
+            assert_eq!(w[(j, i)].to_bits(), want.to_bits(), "mirror ({j},{i})");
+        }
+        // Near pairs survive the screen and carry the exact value.
+        let want01 = (-sq_dist(&flat[0..2], &flat[2..4]) / denom).exp();
+        assert!(want01 > 0.0);
+        assert_eq!(w[(0, 1)].to_bits(), want01.to_bits());
     }
 
     #[test]
@@ -775,12 +1417,21 @@ mod tests {
         let norms = sq_norms(d, &flat);
         let centers: Vec<Vec<f64>> =
             (0..4).map(|c| flat[c * d..(c + 1) * d].to_vec()).collect();
-        let labels = assign_by_dist(d, &flat, &norms, &centers);
-        for i in 0..n {
-            assert_eq!(
-                labels[i],
-                reference::nearest_by_dist(&flat[i * d..(i + 1) * d], &centers)
-            );
+        for (mode, f32_est) in [
+            (KernelMode::Engine, false),
+            (KernelMode::Blocked, false),
+            (KernelMode::Blocked, true),
+        ] {
+            with_modes(Some(mode), Some(f32_est), || {
+                let labels = assign_by_dist(d, &flat, &norms, &centers);
+                for i in 0..n {
+                    assert_eq!(
+                        labels[i],
+                        reference::nearest_by_dist(&flat[i * d..(i + 1) * d], &centers),
+                        "{mode:?} f32={f32_est} point {i}"
+                    );
+                }
+            });
         }
     }
 
@@ -792,16 +1443,16 @@ mod tests {
         let norms = sq_norms(d, &flat);
         let centers: Vec<Vec<f64>> =
             (0..3).map(|c| flat[c * d..(c + 1) * d].to_vec()).collect();
-        let mut engine = NearestAssign::new(n);
-        engine.assign(d, &flat, &norms, &centers);
-        let engine_labels = engine.labels().to_vec();
-        // The naive branch inside the assigner.
-        set_kernel_mode(Some(KernelMode::Naive));
-        let mut naive = NearestAssign::new(n);
-        naive.assign(d, &flat, &norms, &centers);
-        let naive_labels = naive.labels().to_vec();
-        set_kernel_mode(None);
-        assert_eq!(engine_labels, naive_labels);
+        let labels_in = |mode: KernelMode| {
+            with_modes(Some(mode), None, || {
+                let mut a = NearestAssign::new(n);
+                a.assign(d, &flat, &norms, &centers);
+                a.labels().to_vec()
+            })
+        };
+        let naive = labels_in(KernelMode::Naive);
+        assert_eq!(labels_in(KernelMode::Engine), naive);
+        assert_eq!(labels_in(KernelMode::Blocked), naive);
     }
 
     #[test]

@@ -146,6 +146,13 @@ impl Matrix {
         &self.data
     }
 
+    /// Mutable borrow of the flat row-major buffer, for kernels that fill
+    /// or rewrite the matrix in blocks (element `(i, j)` at `i*cols + j`).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Row `i` as a contiguous slice.
     ///
     /// # Panics

@@ -3,13 +3,35 @@
 //! bit-identity of the bound-pruned assignment against the exhaustive
 //! scan over random data, seeds and k.
 
+use multiclust_linalg::block;
 use multiclust_linalg::kernels::{
-    assign_by_dist, reference, sq_dist_matrix, sq_norms, NearestAssign,
+    assign_by_dist, gaussian_affinity_matrix, reference, set_kernel_mode, set_kernels_f32,
+    sq_dist_matrix, sq_norms, KernelMode, NearestAssign,
 };
 use multiclust_linalg::vector::dot;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
+
+/// Serializes tests that flip the process-global kernel mode, and restores
+/// the ambient default on exit (even on assertion failure).
+static MODE_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_modes<T>(mode: KernelMode, f32_est: bool, f: impl FnOnce() -> T) -> T {
+    let _guard = MODE_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    struct Restore;
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_kernel_mode(None);
+            set_kernels_f32(None);
+        }
+    }
+    let _restore = Restore;
+    set_kernel_mode(Some(mode));
+    set_kernels_f32(Some(f32_est));
+    f()
+}
 
 /// Flat row-major data: up to 40 rows of up to 8 dimensions, with entries
 /// spanning several orders of magnitude around zero.
@@ -103,6 +125,97 @@ proptest! {
         for i in 0..n {
             let want = reference::nearest_by_dist(&flat[i * d..(i + 1) * d], &centers);
             prop_assert!(labels[i] == want, "object {} diverged", i);
+        }
+    }
+
+    /// Every kernel tier — naive scalar, estimate-pruned engine, and the
+    /// cache-blocked SIMD tier (with and without f32 screening) — produces
+    /// bit-identical distance matrices, Gaussian affinities, and nearest
+    /// assignments. Centre counts deliberately straddle `block::STRIPE`
+    /// so both the across-points exact sweep (small k) and the per-centre
+    /// panel-dot path (k ≥ stripe) are exercised.
+    #[test]
+    fn kernel_tiers_bit_identical(seed in 0u64..1_000_000) {
+        let (n, d, flat) = flat_data(seed, 40, 8);
+        let norms = sq_norms(d, &flat);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_cafe);
+        let k = rng.gen_range(1..=n.min(block::STRIPE + 4));
+        let mut centers: Vec<Vec<f64>> = (0..k)
+            .map(|c| flat[(c % n) * d..(c % n + 1) * d].to_vec())
+            .collect();
+        for c in centers.iter_mut() {
+            for x in c.iter_mut() {
+                *x += rng.gen_range(-1.0..1.0);
+            }
+        }
+        let denom = 2.0 * rng.gen_range(0.5..3.0f64).powi(2);
+
+        let want_sq = with_modes(KernelMode::Naive, false, || sq_dist_matrix(d, &flat));
+        let want_aff =
+            with_modes(KernelMode::Naive, false, || gaussian_affinity_matrix(d, &flat, denom));
+        let want_labels: Vec<usize> = (0..n)
+            .map(|i| reference::nearest(&flat[i * d..(i + 1) * d], &centers).0)
+            .collect();
+
+        for (mode, f32_est) in [
+            (KernelMode::Engine, false),
+            (KernelMode::Blocked, false),
+            (KernelMode::Blocked, true),
+        ] {
+            with_modes(mode, f32_est, || {
+                let sq = sq_dist_matrix(d, &flat);
+                prop_assert_eq!(sq.values(), want_sq.values());
+                let aff = gaussian_affinity_matrix(d, &flat, denom);
+                for (idx, (got, want)) in
+                    aff.as_slice().iter().zip(want_aff.as_slice()).enumerate()
+                {
+                    prop_assert!(
+                        got.to_bits() == want.to_bits(),
+                        "affinity entry {} diverged under {:?}/f32={}",
+                        idx, mode, f32_est
+                    );
+                }
+                let mut assigner = NearestAssign::new(n);
+                assigner.assign(d, &flat, &norms, &centers);
+                for i in 0..n {
+                    prop_assert!(
+                        assigner.labels()[i] == want_labels[i],
+                        "label {} diverged under {:?}/f32={}",
+                        i, mode, f32_est
+                    );
+                }
+                Ok(())
+            })?;
+        }
+    }
+
+    /// The f32 screening estimate stays within a tight empirical error
+    /// budget of the exact f64 dot product: |est32 − dot64| ≤ 1e-6 · (1 +
+    /// Σ|xₜ·yₜ|). The engine never acts on the estimate alone (survivors
+    /// are re-verified in f64), but the pruning margin arithmetic assumes
+    /// roughly this accuracy — a looser estimate would silently erode the
+    /// speedup, so the bound is pinned here.
+    #[test]
+    fn f32_estimate_error_bounded(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(2..=48usize);
+        let d = rng.gen_range(1..=6usize);
+        let flat: Vec<f64> = (0..n * d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let packed = block::PackedPanelsF32::pack(d, &flat);
+        let row64: Vec<f64> = (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let row32 = block::to_f32(&row64);
+        let mut est = vec![0.0f32; n];
+        packed.dot_row(&row32, 0, &mut est);
+        for j in 0..n {
+            let other = &flat[j * d..(j + 1) * d];
+            let exact = dot(&row64, other);
+            let mass: f64 = row64.iter().zip(other).map(|(a, b)| (a * b).abs()).sum();
+            let err = (f64::from(est[j]) - exact).abs();
+            prop_assert!(
+                err <= 1e-6 * (1.0 + mass),
+                "j={} err={:e} exceeds 1e-6·(1+{:e})",
+                j, err, mass
+            );
         }
     }
 

@@ -87,6 +87,23 @@ fn chunk_len(n: usize, min_chunk: usize) -> usize {
     n.div_ceil(TARGET_CHUNKS).max(min_chunk).max(1)
 }
 
+/// Element-operations of arithmetic a block-granular work unit should aim
+/// for. Large enough that chunk dispatch (one atomic fetch-add plus a
+/// closure call) is noise against the arithmetic; small enough that a
+/// row-block's scratch stays cache-resident and the pool still has units
+/// to balance. Fixed — like [`TARGET_CHUNKS`], block boundaries must never
+/// depend on the thread count.
+pub const BLOCK_WORK: usize = 1 << 16;
+
+/// Rows per work unit for a block-granular row sweep (e.g. handing whole
+/// matrix rows to [`par_chunks_mut`]) where each row costs roughly
+/// `row_work` element operations. Returns at least 1 and depends only on
+/// `row_work`, so the resulting block boundaries are thread-count
+/// independent and results stay bit-identical at any pool size.
+pub fn block_rows(row_work: usize) -> usize {
+    BLOCK_WORK / row_work.max(1) + 1
+}
+
 /// Runs `work` for every chunk index in `0..n_chunks`, returning results in
 /// chunk order. Workers steal indices from a shared counter; the caller
 /// participates. Assumes `n_chunks > 1` and `threads > 1`.
@@ -340,6 +357,18 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn block_rows_is_positive_and_bounded() {
+        assert_eq!(block_rows(0), BLOCK_WORK + 1);
+        assert_eq!(block_rows(usize::MAX), 1);
+        // A row costing exactly the budget still forms a 1-row block.
+        assert_eq!(block_rows(BLOCK_WORK), 2);
+        // Cheap rows batch up to roughly the work budget.
+        let r = block_rows(1000);
+        assert!(r * 1000 >= BLOCK_WORK, "{r}");
+        assert!((r - 1) * 1000 <= BLOCK_WORK, "{r}");
+    }
 
     /// Runs `f` under a fixed thread-count override. The override is
     /// process-global and tests run concurrently, so this serializes all

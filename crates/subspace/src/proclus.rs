@@ -152,7 +152,11 @@ impl Proclus {
         let d = data.dims();
         // Locality: nearest-medoid partition through the pruned engine
         // kernel — first minimum of the computed Euclidean distances,
-        // matching the historical `min_by` scan bit-for-bit.
+        // matching the historical `min_by` scan bit-for-bit. In the
+        // blocked tier the per-point medoid distances come from the
+        // panel-packed dot-form estimates (exact re-verification keeps the
+        // winning distance bit-exact), so PROCLUS inherits the SIMD path
+        // without any change here.
         let medoid_rows: Vec<Vec<f64>> =
             medoids.iter().map(|&m| data.row(m).to_vec()).collect();
         let norms = sq_norms(d, data.as_slice());

@@ -33,13 +33,22 @@ cmp "$tmp/verify1.txt" "$tmp/verify4.txt"
 grep -q 'all .* checks passed' "$tmp/verify1.txt"
 
 # Distance-kernel engine: flipping the runtime kernel switch must not
-# change a command's stdout by a single byte, and the bench smoke run must
-# exit 0 with a parseable report naming every family.
-MULTICLUST_KERNELS=engine ./target/release/multiclust kmeans \
-    --input "$tmp/data.csv" --k 3 --seed 1 > "$tmp/engine.csv"
+# change a command's stdout by a single byte — across the estimate-pruned
+# engine, the cache-blocked SIMD tier, and blocked with f32 screening —
+# and the bench smoke run must exit 0 with a parseable report naming
+# every family.
 MULTICLUST_KERNELS=naive ./target/release/multiclust kmeans \
     --input "$tmp/data.csv" --k 3 --seed 1 > "$tmp/naive.csv"
+MULTICLUST_KERNELS=engine ./target/release/multiclust kmeans \
+    --input "$tmp/data.csv" --k 3 --seed 1 > "$tmp/engine.csv"
 cmp "$tmp/engine.csv" "$tmp/naive.csv"
+MULTICLUST_KERNELS=blocked ./target/release/multiclust kmeans \
+    --input "$tmp/data.csv" --k 3 --seed 1 > "$tmp/blocked.csv"
+cmp "$tmp/blocked.csv" "$tmp/naive.csv"
+MULTICLUST_KERNELS=blocked MULTICLUST_KERNELS_F32=1 \
+    ./target/release/multiclust kmeans \
+    --input "$tmp/data.csv" --k 3 --seed 1 > "$tmp/blocked32.csv"
+cmp "$tmp/blocked32.csv" "$tmp/naive.csv"
 ./target/release/multiclust bench --smoke > "$tmp/bench.json" 2> "$tmp/bench.err"
 grep -q '"schema": "multiclust-bench/v1"' "$tmp/bench.json"
 for family in kmeans spectral coala dec-kmeans meta proclus; do
@@ -58,6 +67,13 @@ if ./target/release/multiclust bench --smoke --inject-naive \
     exit 1
 fi
 grep -q 'gate: FAIL' "$tmp/gate-bad.err"
+
+# Per-family speedup floors: the frozen PR-6 report must show every
+# family at or above 1.0x over the naive kernels (the PR-6 acceptance
+# bar: no family ships with a negative speedup).
+./target/release/multiclust bench --check-floors BENCH_PR6.json \
+    > "$tmp/floors.txt"
+grep -q 'floors: PASS' "$tmp/floors.txt"
 
 # Trace export + convergence diagnostics: `--trace` leaves stdout
 # byte-identical while streaming a versioned JSONL file that the

@@ -55,6 +55,7 @@ commands:
                [--golden-dir <dir>|none] [--bless]
   bench        [--smoke] [--out <file>] [--seed <n>]
                [--compare <BENCH_*.json>] [--inject-naive]
+               [--check-floors <BENCH_*.json>]
   trace        <trace.jsonl> | --collapse <trace.jsonl>
   diagnose     <trace.jsonl> [--json]
   trend        [--dir <dir>]
@@ -74,7 +75,9 @@ output: CSV on stdout — one column per solution, label per object,
         `bench` prints a distance-kernel benchmark report as JSON
         (timings/progress go to stderr, `--out` also writes a file;
         `--compare` gates against a baseline report and exits non-zero
-        on regression); `trace` prints a per-phase time attribution (or
+        on regression; `--check-floors` audits a frozen report against
+        the per-family speedup floors instead of running the suite);
+        `trace` prints a per-phase time attribution (or
         collapsed flamegraph stacks with --collapse); `diagnose` prints
         convergence findings and exits non-zero on a violated objective
         contract; `trend` tabulates all BENCH_*.json trajectories.
@@ -261,6 +264,7 @@ fn setup_trace(path: &str, command: &str, flags: &Flags) -> Result<(), String> {
     multiclust::telemetry::set_enabled(true);
     let kernel_mode = match multiclust::linalg::kernels::kernel_mode() {
         multiclust::linalg::kernels::KernelMode::Engine => "engine",
+        multiclust::linalg::kernels::KernelMode::Blocked => "blocked",
         multiclust::linalg::kernels::KernelMode::Naive => "naive",
     };
     trace::trace_meta(&[
@@ -481,6 +485,21 @@ fn cmd_verify(flags: &Flags) -> Result<Outcome, String> {
 }
 
 fn cmd_bench(flags: &Flags) -> Result<Outcome, String> {
+    // `--check-floors <file>` audits a frozen checked-in report against the
+    // per-family speedup floors without re-measuring anything: the numbers
+    // are in the file, so the verdict is deterministic on any machine.
+    if let Some(path) = flags.get("check-floors") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("flag --check-floors: reading {path}: {e}"))?;
+        let frozen = multiclust::bench::report::BenchReport::from_json(&text)
+            .map_err(|e| format!("flag --check-floors: {path}: {e}"))?;
+        let verdict = multiclust::bench::compare::check_floors(
+            &frozen,
+            multiclust::bench::compare::FAMILY_FLOORS,
+        );
+        let passed = verdict.passed();
+        return Ok(Outcome { output: verdict.text, passed });
+    }
     let smoke = flags.bool("smoke");
     let seed = flags.parsed_or("seed", 42u64)?;
     let report =

@@ -401,19 +401,86 @@ fn kernel_mode_switch_keeps_stdout_identical() {
         ],
     ];
     for args in &cases {
-        let engine = bin()
-            .args(args)
-            .env("MULTICLUST_KERNELS", "engine")
-            .output()
-            .expect("binary runs");
         let naive = bin()
             .args(args)
             .env("MULTICLUST_KERNELS", "naive")
             .output()
             .expect("binary runs");
-        assert!(engine.status.success() && naive.status.success(), "{args:?}");
-        assert_eq!(engine.stdout, naive.stdout, "{args:?} diverged across kernel modes");
+        assert!(naive.status.success(), "{args:?}");
+        // Every optimized tier — estimate-pruned engine, cache-blocked
+        // SIMD, and blocked with f32 screening — must leave stdout
+        // byte-identical to the naive reference.
+        for (mode, f32_est) in [("engine", "0"), ("blocked", "0"), ("blocked", "1")] {
+            let tier = bin()
+                .args(args)
+                .env("MULTICLUST_KERNELS", mode)
+                .env("MULTICLUST_KERNELS_F32", f32_est)
+                .output()
+                .expect("binary runs");
+            assert!(tier.status.success(), "{args:?} under {mode}/f32={f32_est}");
+            assert_eq!(
+                tier.stdout, naive.stdout,
+                "{args:?} diverged under {mode}/f32={f32_est}"
+            );
+        }
     }
+}
+
+/// PR-6 acceptance: `bench --check-floors` validates a checked-in report
+/// against the per-family speedup floors — the committed BENCH_PR6.json
+/// passes, and a doctored report with a sub-floor family fails with the
+/// offending row named.
+#[test]
+fn bench_check_floors_gate() {
+    let report = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("BENCH_PR6.json");
+    let out = bin()
+        .args(["bench", "--check-floors", report.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    // Like `verify`, the audit table is the command's product: it goes to
+    // stdout and the exit code carries the verdict.
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(out.status.success(), "committed report must clear the floors: {stdout}");
+    assert!(stdout.contains("floors: PASS"), "{stdout}");
+
+    // Doctor one dec-kmeans entry below its 1.0× floor.
+    let dir = workdir("check-floors");
+    let text = fs::read_to_string(&report).unwrap();
+    let mut doc: serde_json::Value = serde_json::from_str(&text).unwrap();
+    {
+        let serde_json::Value::Object(root) = &mut doc else { panic!("object") };
+        let serde_json::Value::Array(entries) =
+            root.iter_mut().find(|(k, _)| k == "entries").map(|(_, v)| v).unwrap()
+        else {
+            panic!("entries")
+        };
+        let mut hit = false;
+        for e in entries.iter_mut() {
+            let serde_json::Value::Object(fields) = e else { continue };
+            let is_dec = fields.iter().any(|(k, v)| {
+                k == "family" && matches!(v, serde_json::Value::String(s) if s == "dec-kmeans")
+            });
+            if is_dec {
+                for (k, v) in fields.iter_mut() {
+                    if k == "speedup" {
+                        *v = serde_json::Value::Float(0.62);
+                        hit = true;
+                    }
+                }
+            }
+        }
+        assert!(hit, "report has a dec-kmeans entry to doctor");
+    }
+    let doctored = dir.join("doctored.json");
+    fs::write(&doctored, serde_json::to_string(&doc).unwrap()).unwrap();
+    let out = bin()
+        .args(["bench", "--check-floors", doctored.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(!out.status.success(), "sub-floor family must fail: {stdout}");
+    assert!(stdout.contains("floors: FAIL"), "{stdout}");
+    assert!(stdout.contains("dec-kmeans"), "{stdout}");
 }
 
 /// PR-5 acceptance: `--trace <file>` leaves stdout byte-identical while
