@@ -1,0 +1,78 @@
+//! What does allocation accounting cost? Measured at two granularities:
+//!
+//! 1. a raw allocation loop (Vec grow-and-drop) with the counting
+//!    allocator off vs on — the per-allocation price of the hook, which
+//!    is one relaxed atomic load when off and a handful of atomic
+//!    increments plus a thread-local read when on;
+//! 2. one whole k-means fit measured both ways, so the end-to-end cost
+//!    on a real workload (which allocates far less often than it
+//!    computes distances) is visible next to the microcost.
+//!
+//! The measured deltas are quoted in DESIGN.md's Resource accounting
+//! section; re-run with `cargo bench --bench alloc_overhead` after
+//! touching the allocator hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use multiclust_base::kmeans::KMeans;
+use multiclust_data::seeded_rng;
+use multiclust_data::synthetic::four_blob_square;
+use multiclust_data::Dataset;
+use multiclust_telemetry::alloc;
+
+fn workload() -> Dataset {
+    four_blob_square(60, 10.0, 0.6, &mut seeded_rng(6001)).dataset
+}
+
+fn fit(data: &Dataset) {
+    let mut rng = seeded_rng(6002);
+    black_box(KMeans::new(4).with_restarts(3).fit(data, &mut rng));
+}
+
+/// 64 heap round-trips of mixed sizes per iteration: the measured
+/// per-iteration delta divided by 64 is the per-allocation cost.
+fn alloc_loop() {
+    for i in 0..64usize {
+        let v: Vec<u8> = Vec::with_capacity(16 + (i % 7) * 40);
+        black_box(&v);
+        drop(v);
+    }
+}
+
+fn bench_alloc_call(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alloc_overhead");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    alloc::set_alloc_enabled(false);
+    group.bench_function("alloc_loop_disabled", |b| b.iter(alloc_loop));
+
+    alloc::set_alloc_enabled(true);
+    alloc::reset_alloc();
+    group.bench_function("alloc_loop_enabled", |b| b.iter(alloc_loop));
+
+    alloc::reset_alloc();
+    alloc::set_alloc_enabled(false);
+    group.finish();
+}
+
+fn bench_fit_overhead(c: &mut Criterion) {
+    let data = workload();
+    let mut group = c.benchmark_group("alloc_fit_overhead");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+
+    alloc::set_alloc_enabled(false);
+    group.bench_function("kmeans_disabled", |b| b.iter(|| fit(&data)));
+
+    alloc::set_alloc_enabled(true);
+    alloc::reset_alloc();
+    group.bench_function("kmeans_enabled", |b| b.iter(|| fit(&data)));
+
+    alloc::reset_alloc();
+    alloc::set_alloc_enabled(false);
+    group.finish();
+}
+
+criterion_group!(benches, bench_alloc_call, bench_fit_overhead);
+criterion_main!(benches);

@@ -64,9 +64,16 @@ fn engine_activity(counters: &BTreeMap<String, u64>) -> u64 {
     counters
         .iter()
         .filter(|(name, _)| {
+            // Raw work counts (exact distances, scan tallies, and the
+            // flops/bytes roofline accounting) are excluded: they are
+            // nonzero in *any* mode, so they would mask a silent fallback
+            // to the naive kernels — the exact signal this rule exists
+            // to catch.
             name.starts_with("kernels.")
                 && name.as_str() != "kernels.exact"
                 && name.as_str() != "kernels.assign.scanned"
+                && name.as_str() != "kernels.flops"
+                && name.as_str() != "kernels.bytes_touched"
         })
         .map(|(_, &v)| v)
         .sum()

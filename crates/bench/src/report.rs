@@ -7,8 +7,15 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Schema tag stamped into every benchmark report; bump on breaking
-/// changes so trajectory tooling can tell formats apart.
-pub const BENCH_SCHEMA: &str = "multiclust-bench/v1";
+/// changes so trajectory tooling can tell formats apart. v2 adds the
+/// kernel work accounting (`kernels.flops` / `kernels.bytes_touched`
+/// counters and the derived bytes-per-FLOP roofline column); v1 reports
+/// remain readable — every v1 field kept its meaning.
+pub const BENCH_SCHEMA: &str = "multiclust-bench/v2";
+
+/// Older schema tags [`BenchReport::from_json`] still accepts (checked-in
+/// trajectory baselines are never rewritten).
+pub const BENCH_SCHEMA_COMPAT: &[&str] = &["multiclust-bench/v1"];
 
 /// One timed workload (or experiment) inside a [`BenchReport`].
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -60,11 +67,14 @@ impl BenchReport {
         serde_json::to_string_pretty(self).expect("report serializes")
     }
 
-    /// Parses a report and checks the schema tag.
+    /// Parses a report and checks the schema tag (current or any
+    /// [`BENCH_SCHEMA_COMPAT`] version).
     pub fn from_json(s: &str) -> Result<Self, String> {
         let report: BenchReport =
             serde_json::from_str(s).map_err(|e| e.to_string())?;
-        if report.schema != BENCH_SCHEMA {
+        if report.schema != BENCH_SCHEMA
+            && !BENCH_SCHEMA_COMPAT.contains(&report.schema.as_str())
+        {
             return Err(format!(
                 "unsupported bench schema {:?} (expected {BENCH_SCHEMA:?})",
                 report.schema
@@ -74,8 +84,13 @@ impl BenchReport {
     }
 
     /// Aligned text table of the entries (for logs; JSON is the contract).
+    /// `B/FLOP` is the roofline column: bytes touched per floating-point
+    /// operation from the engine run's work counters — low (≈5, the 16d/3d
+    /// floor of one exact distance) means compute-shaped work, higher
+    /// means the workload is memory-traffic-bound; `-` when the run
+    /// carried no work counters (v1 reports, naive-only runs).
     pub fn render_text(&self) -> String {
-        let mut t = Table::new(&["id", "n", "engine_ms", "naive_ms", "speedup"]);
+        let mut t = Table::new(&["id", "n", "engine_ms", "naive_ms", "speedup", "B/FLOP"]);
         for e in &self.entries {
             t.row(&[
                 e.id.clone(),
@@ -83,9 +98,20 @@ impl BenchReport {
                 f3(e.wall_ms),
                 e.baseline_ms.map_or_else(|| "-".into(), f3),
                 e.speedup.map_or_else(|| "-".into(), |s| format!("{s:.2}x")),
+                e.bytes_per_flop().map_or_else(|| "-".into(), |r| format!("{r:.2}")),
             ]);
         }
         section(&format!("bench: {}", self.label), &t.render())
+    }
+}
+
+impl BenchEntry {
+    /// Bytes touched per FLOP from the kernel work counters, when the
+    /// entry carries both (`None` for v1 reports or zero-flop runs).
+    pub fn bytes_per_flop(&self) -> Option<f64> {
+        let flops = *self.counters.get("kernels.flops")?;
+        let bytes = *self.counters.get("kernels.bytes_touched")?;
+        (flops > 0).then(|| bytes as f64 / flops as f64)
     }
 }
 
@@ -202,6 +228,42 @@ mod tests {
         report.schema = "something-else".into();
         let err = BenchReport::from_json(&report.to_json()).unwrap_err();
         assert!(err.contains("unsupported bench schema"), "{err}");
+    }
+
+    #[test]
+    fn bench_report_accepts_v1_baselines() -> Result<(), String> {
+        let mut report = BenchReport::new("unit");
+        report.schema = "multiclust-bench/v1".into();
+        let back = BenchReport::from_json(&report.to_json())?;
+        assert_eq!(back.schema, "multiclust-bench/v1");
+        Ok(())
+    }
+
+    #[test]
+    fn roofline_column_derives_from_work_counters() {
+        let mut report = BenchReport::new("unit");
+        report.entries.push(BenchEntry {
+            id: "kmeans-n160".into(),
+            family: "kmeans".into(),
+            n: 160,
+            wall_ms: 1.0,
+            baseline_ms: None,
+            speedup: None,
+            counters: [
+                ("kernels.flops".to_string(), 300u64),
+                ("kernels.bytes_touched".to_string(), 1600u64),
+            ]
+            .into_iter()
+            .collect(),
+        });
+        assert_eq!(report.entries[0].bytes_per_flop(), Some(1600.0 / 300.0));
+        let text = report.render_text();
+        assert!(text.contains("B/FLOP"), "{text}");
+        assert!(text.contains("5.33"), "{text}");
+        // Entries without work counters render a dash, not a panic.
+        report.entries[0].counters.clear();
+        assert_eq!(report.entries[0].bytes_per_flop(), None);
+        assert!(report.render_text().contains('-'));
     }
 
     #[test]

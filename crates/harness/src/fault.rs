@@ -28,6 +28,10 @@ pub enum Fault {
     /// simulating instrumentation that consumes randomness — caught by
     /// `trace-invariance`.
     TracePerturbsRng,
+    /// Perturbs the RNG seed of the run made with allocation accounting
+    /// switched on, simulating an allocator hook that changes behaviour —
+    /// caught by `alloc-invariance`.
+    AllocPerturbsRng,
 }
 
 impl Fault {
@@ -40,6 +44,7 @@ impl Fault {
             Fault::OutOfBoundsMeasure,
             Fault::DesyncKernels,
             Fault::TracePerturbsRng,
+            Fault::AllocPerturbsRng,
         ]
     }
 
@@ -52,6 +57,7 @@ impl Fault {
             Fault::OutOfBoundsMeasure => "out-of-bounds-measure",
             Fault::DesyncKernels => "desync-kernels",
             Fault::TracePerturbsRng => "trace-perturbs-rng",
+            Fault::AllocPerturbsRng => "alloc-perturbs-rng",
         }
     }
 
@@ -64,6 +70,7 @@ impl Fault {
             Fault::OutOfBoundsMeasure => "diss-bounds",
             Fault::DesyncKernels => "kernel-equivalence",
             Fault::TracePerturbsRng => "trace-invariance",
+            Fault::AllocPerturbsRng => "alloc-invariance",
         }
     }
 

@@ -63,6 +63,7 @@ pub fn registry() -> Vec<Box<dyn Invariant>> {
         Box::new(DissBounds),
         Box::new(KernelEquivalence),
         Box::new(TraceInvariance),
+        Box::new(AllocInvariance),
     ]
 }
 
@@ -921,6 +922,65 @@ impl Invariant for TraceInvariance {
         }
         if parsed.spans.is_empty() && parsed.events.is_empty() {
             return Err("trace recorded no spans or events for the fit".to_string());
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// 15. alloc-invariance
+// ---------------------------------------------------------------------
+
+/// Allocation accounting observes, never participates: running with the
+/// counting allocator switched on (`MULTICLUST_ALLOC=1`) must reproduce
+/// every label bit-for-bit, while still recording that the fit allocated.
+pub struct AllocInvariance;
+
+impl Invariant for AllocInvariance {
+    fn name(&self) -> &'static str {
+        "alloc-invariance"
+    }
+    fn description(&self) -> &'static str {
+        "solutions are bit-identical with allocation accounting on, and allocations are counted"
+    }
+    fn applies(&self, _: &dyn AlgorithmFamily, _: &Scenario) -> bool {
+        true
+    }
+    fn check(&self, family: &dyn AlgorithmFamily, ctx: &CheckContext) -> Result<(), String> {
+        use multiclust_telemetry::alloc;
+        // The accounting switch is process-global; serialize and restore
+        // it so an outer `MULTICLUST_ALLOC=1` run keeps counting.
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _guard = LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let s = ctx.scenario;
+        struct Restore(bool);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                alloc::set_alloc_enabled(self.0);
+            }
+        }
+        let _restore = Restore(alloc::alloc_enabled());
+
+        alloc::set_alloc_enabled(false);
+        let plain = fit_with(family, s, &s.dataset, &s.given, ctx.seed);
+
+        alloc::set_alloc_enabled(true);
+        let before = alloc::alloc_totals().count;
+        // The fault models an allocator hook that changes behaviour: the
+        // counted run sees a perturbed seed and must come back different.
+        let seed = if ctx.fault == Some(Fault::AllocPerturbsRng) {
+            ctx.seed ^ 1
+        } else {
+            ctx.seed
+        };
+        let counted = fit_with(family, s, &s.dataset, &s.given, seed);
+        let after = alloc::alloc_totals().count;
+        alloc::set_alloc_enabled(false);
+
+        identical_solutions(&plain, &counted)
+            .map_err(|e| format!("allocation accounting moved labels: {e}"))?;
+        if after <= before {
+            return Err("accounting was on but counted no allocations during the fit".into());
         }
         Ok(())
     }

@@ -418,6 +418,8 @@ impl PackedPanels {
             lo += bw;
         }
         multiclust_telemetry::counter_add("kernels.block.panels", panels);
+        // Work accounting: packing streams every f64 once in and once out.
+        multiclust_telemetry::counter_add("kernels.bytes_touched", 16 * (n * d) as u64);
         Self { d, n, b, data }
     }
 

@@ -358,6 +358,14 @@ fn blocked_condensed(d: usize, flat: &[f64], take_sqrt: bool) -> SymmetricMatrix
     }
     multiclust_telemetry::counter_add("kernels.matrix.builds", 1);
     multiclust_telemetry::counter_add("kernels.matrix.entries", vals.len() as u64);
+    // Work accounting (roofline model): each condensed entry is one exact
+    // d-coordinate distance — ~3d flops (+1 for the sqrt variant) over
+    // two d-length f64 rows.
+    let entries = vals.len() as u64;
+    let per_entry = 3 * d as u64 + u64::from(take_sqrt);
+    multiclust_telemetry::counter_add("kernels.flops", per_entry * entries);
+    multiclust_telemetry::counter_add("kernels.bytes_touched", 16 * d as u64 * entries);
+    multiclust_telemetry::histogram_record("kernels.matrix.batch", entries);
     SymmetricMatrix { n, vals }
 }
 
@@ -509,13 +517,27 @@ pub fn gaussian_affinity_matrix(d: usize, flat: &[f64], denom: f64) -> Matrix {
         ib += TB;
     }
 
+    let estimates = estimates.into_inner();
+    let screened = screened.into_inner();
+    let pairs = (n * n.saturating_sub(1) / 2) as u64;
     multiclust_telemetry::counter_add("kernels.matrix.builds", 1);
+    multiclust_telemetry::counter_add("kernels.matrix.entries", pairs);
+    multiclust_telemetry::counter_add("kernels.estimates", estimates);
+    multiclust_telemetry::counter_add("kernels.screen.pruned", screened);
+    // Work accounting (roofline model): every pair costs one exact panel
+    // distance (~3d flops over two f64 rows) plus one `exp` for the pairs
+    // the underflow screen did not zero out; f32 screening estimates add
+    // a 2d-flop dot per estimate over half-width rows.
+    let d64 = d as u64;
     multiclust_telemetry::counter_add(
-        "kernels.matrix.entries",
-        (n * n.saturating_sub(1) / 2) as u64,
+        "kernels.flops",
+        3 * d64 * pairs + pairs.saturating_sub(screened) + 2 * d64 * estimates,
     );
-    multiclust_telemetry::counter_add("kernels.estimates", estimates.into_inner());
-    multiclust_telemetry::counter_add("kernels.screen.pruned", screened.into_inner());
+    multiclust_telemetry::counter_add(
+        "kernels.bytes_touched",
+        16 * d64 * pairs + 8 * d64 * estimates,
+    );
+    multiclust_telemetry::histogram_record("kernels.matrix.batch", pairs);
     w
 }
 
@@ -609,7 +631,16 @@ impl AssignStats {
         self.bypass += o.bypass;
     }
 
-    fn record(&self) {
+    /// Mirrors the pass into the telemetry counters, deriving the work
+    /// accounting (`kernels.flops`, `kernels.bytes_touched`) from the
+    /// kernel-call tallies analytically: an exact `sq_dist` over `d`
+    /// coordinates costs ~3d flops (sub, mul, add per lane), a dot-form
+    /// estimate ~2d, and either reads two `d`-length `f64` rows (16d
+    /// bytes). Coarse by design — the counters are a roofline model for
+    /// `multiclust bench`, not a hardware profile — and aggregated once
+    /// per pass so the hot loops stay counter-free.
+    fn record(&self, d: usize) {
+        let d = d as u64;
         multiclust_telemetry::counter_add("kernels.assign.skipped", self.skipped);
         multiclust_telemetry::counter_add("kernels.assign.tightened", self.tightened);
         multiclust_telemetry::counter_add("kernels.assign.scanned", self.scanned);
@@ -617,6 +648,14 @@ impl AssignStats {
         multiclust_telemetry::counter_add("kernels.estimates", self.estimates);
         multiclust_telemetry::counter_add("kernels.guard_trips", self.guard_trips);
         multiclust_telemetry::counter_add("kernels.assign.bypass", self.bypass);
+        multiclust_telemetry::counter_add(
+            "kernels.flops",
+            3 * d * self.exact + 2 * d * self.estimates,
+        );
+        multiclust_telemetry::counter_add(
+            "kernels.bytes_touched",
+            16 * d * (self.exact + self.estimates),
+        );
     }
 }
 
@@ -826,7 +865,8 @@ impl NearestAssign {
                 exact: (self.n * k) as u64,
                 ..AssignStats::default()
             };
-            stats.record();
+            multiclust_telemetry::histogram_record("kernels.assign.batch", self.n as u64);
+            stats.record(d);
             return stats;
         }
 
@@ -949,7 +989,8 @@ impl NearestAssign {
         }
         self.prev = centers.to_vec();
         self.ready = true;
-        stats.record();
+        multiclust_telemetry::histogram_record("kernels.assign.batch", self.n as u64);
+        stats.record(d);
         stats
     }
 }
@@ -1066,7 +1107,8 @@ pub fn assign_by_dist(
             exact: (n * k) as u64,
             ..AssignStats::default()
         };
-        stats.record();
+        multiclust_telemetry::histogram_record("kernels.assign.batch", n as u64);
+        stats.record(d);
         return labels;
     }
     let eps = slack(d);
@@ -1104,7 +1146,8 @@ pub fn assign_by_dist(
         labels.push(label);
         stats.add(&s);
     }
-    stats.record();
+    multiclust_telemetry::histogram_record("kernels.assign.batch", n as u64);
+    stats.record(d);
     labels
 }
 

@@ -33,18 +33,30 @@
 //!   under it (`"coala.fit/merge_scan"`). Aggregation records call count,
 //!   total and maximum duration per path.
 //! * **Counters** ([`counter_add`]) are monotonic `u64` sums.
-//! * **Histograms** ([`histogram_record`]) bucket `u64` samples at
-//!   power-of-two boundaries (bucket `b` holds values in
-//!   `[2^(b-1), 2^b)`; bucket 0 holds zero).
+//! * **Histograms** ([`histogram_record`]) record `u64` samples into
+//!   mergeable log-bucketed quantile sketches ([`Sketch`]: p50/p90/p99/
+//!   max with ≤ 1/16 relative bucket error). Span durations feed the
+//!   same sketch type, keyed by span path.
 //! * **Events** ([`event`]) are ordered structured records — a name plus
 //!   named `f64` fields — for convergence traces (per-iteration
 //!   objectives, merge decisions, lattice level sizes). The registry
 //!   retains up to [`MAX_EVENTS`] events and counts the overflow instead
 //!   of growing without bound.
+//! * **Allocation accounting** ([`alloc`]) attributes heap traffic to the
+//!   active span via a counting global allocator, off by default
+//!   (`MULTICLUST_ALLOC=1`).
+//! * **Metrics stream** ([`metrics`]) samples counters, quantiles and
+//!   alloc gauges to a JSONL file on a wall-clock interval
+//!   (`--metrics` / `MULTICLUST_METRICS`).
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the `alloc` module implements the unsafe
+// `GlobalAlloc` trait and opts out locally; everything else stays safe.
+#![deny(unsafe_code)]
 
+pub mod alloc;
 pub mod diagnose;
+pub mod metrics;
+pub mod sketch;
 pub mod trace;
 
 use std::collections::BTreeMap;
@@ -55,12 +67,12 @@ use std::time::Instant;
 
 use serde::Value;
 
+pub use alloc::AllocStat;
+pub use sketch::Sketch;
+
 /// Maximum number of structured events retained in the registry; later
 /// events are dropped and counted in `dropped_events`.
 pub const MAX_EVENTS: usize = 1 << 16;
-
-/// Number of power-of-two histogram buckets (covers the full `u64` range).
-pub const HISTOGRAM_BUCKETS: usize = 65;
 
 // ---- global switch ---------------------------------------------------------
 
@@ -84,6 +96,9 @@ fn init_from_env() -> bool {
         let v = v.trim().to_ascii_lowercase();
         !(v.is_empty() || v == "0" || v == "false" || v == "off")
     });
+    // Arm the counting allocator here — this is ordinary (cold) code,
+    // where reading an env var is safe; the allocator itself never is.
+    alloc::init_from_env();
     // `MULTICLUST_TRACE=<path>` implies recording: open the sink and turn
     // telemetry on so the trace actually has content.
     if let Ok(path) = std::env::var("MULTICLUST_TRACE") {
@@ -92,6 +107,22 @@ fn init_from_env() -> bool {
             match trace::set_trace_path(Some(std::path::Path::new(path))) {
                 Ok(()) => on = true,
                 Err(e) => eprintln!("multiclust: cannot open MULTICLUST_TRACE={path}: {e}"),
+            }
+        }
+    }
+    // `MULTICLUST_METRICS=<path>` likewise implies recording: start the
+    // sampler so the snapshots have content.
+    if let Ok(path) = std::env::var("MULTICLUST_METRICS") {
+        let path = path.trim();
+        if !path.is_empty() && !metrics::metrics_enabled() {
+            let interval = std::env::var("MULTICLUST_METRICS_INTERVAL_MS")
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .map(std::time::Duration::from_millis)
+                .unwrap_or(metrics::DEFAULT_INTERVAL);
+            match metrics::start_metrics(std::path::Path::new(path), interval) {
+                Ok(()) => on = true,
+                Err(e) => eprintln!("multiclust: cannot open MULTICLUST_METRICS={path}: {e}"),
             }
         }
     }
@@ -125,43 +156,6 @@ pub struct SpanStat {
     pub max_ns: u64,
 }
 
-/// A log-scale histogram of `u64` samples.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Histogram {
-    /// Number of recorded samples.
-    pub count: u64,
-    /// Sum of recorded samples (saturating).
-    pub sum: u64,
-    /// `buckets[0]` counts zeros; `buckets[b]` counts `[2^(b-1), 2^b)`.
-    pub buckets: Vec<u64>,
-}
-
-impl Histogram {
-    fn new() -> Self {
-        Self { count: 0, sum: 0, buckets: vec![0; HISTOGRAM_BUCKETS] }
-    }
-
-    fn record(&mut self, value: u64) {
-        self.count += 1;
-        self.sum = self.sum.saturating_add(value);
-        self.buckets[bucket_index(value)] += 1;
-    }
-
-    /// Mean of the recorded samples (0 when empty).
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
-        }
-    }
-}
-
-/// Bucket index for a sample: 0 for zero, else `floor(log2(v)) + 1`.
-fn bucket_index(value: u64) -> usize {
-    (u64::BITS - value.leading_zeros()) as usize
-}
-
 /// One structured event: an ordered record with named numeric fields.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Event {
@@ -177,7 +171,10 @@ pub struct Event {
 struct Inner {
     spans: BTreeMap<String, SpanStat>,
     counters: BTreeMap<String, u64>,
-    histograms: BTreeMap<String, Histogram>,
+    histograms: BTreeMap<String, Sketch>,
+    /// Per-span-path duration sketches (nanoseconds), recorded alongside
+    /// the scalar [`SpanStat`] so readers get p50/p90/p99 per phase.
+    durations: BTreeMap<String, Sketch>,
     events: Vec<Event>,
     dropped_events: u64,
     seq: u64,
@@ -207,10 +204,18 @@ thread_local! {
 #[must_use = "a span records its duration when the guard drops"]
 pub struct SpanGuard {
     active: Option<(String, Instant)>,
+    /// Allocation slot to restore on drop; `None` when allocation
+    /// accounting was off at open time.
+    prev_slot: Option<usize>,
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        // Restore the allocation charge target first, so the bookkeeping
+        // below is charged to the parent span, not this one.
+        if let Some(prev) = self.prev_slot.take() {
+            alloc::set_current_slot(prev);
+        }
         let Some((path, start)) = self.active.take() else {
             return;
         };
@@ -223,6 +228,7 @@ impl Drop for SpanGuard {
             stat.count += 1;
             stat.total_ns += ns;
             stat.max_ns = stat.max_ns.max(ns);
+            r.durations.entry(path.clone()).or_default().record(ns);
         });
         // Registry lock released before the sink lock is taken.
         if trace::trace_enabled() {
@@ -235,7 +241,7 @@ impl Drop for SpanGuard {
 /// this thread. Hold the returned guard for the duration of the work.
 pub fn span(name: &str) -> SpanGuard {
     if !enabled() {
-        return SpanGuard { active: None };
+        return SpanGuard { active: None, prev_slot: None };
     }
     let path = SPAN_STACK.with(|s| {
         let mut stack = s.borrow_mut();
@@ -246,7 +252,14 @@ pub fn span(name: &str) -> SpanGuard {
         stack.push(path.clone());
         path
     });
-    SpanGuard { active: Some((path, Instant::now())) }
+    // With allocation accounting on, this span becomes the thread's
+    // charge target until the guard drops.
+    let prev_slot = if alloc::alloc_enabled() {
+        Some(alloc::swap_current_slot(alloc::slot_for_path(&path)))
+    } else {
+        None
+    };
+    SpanGuard { active: Some((path, Instant::now())), prev_slot }
 }
 
 /// Adds `delta` to the monotonic counter `name`.
@@ -263,17 +276,14 @@ pub fn counter_add(name: &str, delta: u64) {
     });
 }
 
-/// Records `value` into the log-scale histogram `name`.
+/// Records `value` into the quantile sketch `name`.
 #[inline]
 pub fn histogram_record(name: &str, value: u64) {
     if !enabled() {
         return;
     }
     with_registry(|r| {
-        r.histograms
-            .entry(name.to_string())
-            .or_insert_with(Histogram::new)
-            .record(value);
+        r.histograms.entry(name.to_string()).or_default().record(value);
     });
 }
 
@@ -308,10 +318,13 @@ pub fn event(name: &str, fields: &[(&str, f64)]) {
     }
 }
 
-/// Clears all recorded data (spans, counters, histograms, events). The
-/// on/off switch is untouched.
+/// Clears all recorded data (spans, counters, histograms, events,
+/// allocation tallies, trace write-error count). The on/off switches are
+/// untouched.
 pub fn reset() {
     with_registry(|r| *r = Inner::default());
+    alloc::reset_alloc();
+    trace::reset_write_errors();
 }
 
 // ---- snapshot & export -----------------------------------------------------
@@ -323,23 +336,38 @@ pub struct Snapshot {
     pub spans: BTreeMap<String, SpanStat>,
     /// Counter values by name.
     pub counters: BTreeMap<String, u64>,
-    /// Histograms by name.
-    pub histograms: BTreeMap<String, Histogram>,
+    /// Quantile sketches by name.
+    pub histograms: BTreeMap<String, Sketch>,
+    /// Span-duration sketches by path (nanoseconds).
+    pub durations: BTreeMap<String, Sketch>,
+    /// Allocation accounting per span path (empty when `MULTICLUST_ALLOC`
+    /// is off or nothing allocated).
+    pub alloc: BTreeMap<String, AllocStat>,
     /// Retained events in sequence order.
     pub events: Vec<Event>,
     /// Events dropped after [`MAX_EVENTS`] was reached.
     pub dropped_events: u64,
 }
 
-/// Copies the current registry contents.
+/// Copies the current registry contents, folding in the allocator's slot
+/// table and the trace sink's write-error count (as `trace.write_errors`,
+/// so both exporters surface sink failures alongside everything else).
 pub fn snapshot() -> Snapshot {
-    with_registry(|r| Snapshot {
+    let mut snap = with_registry(|r| Snapshot {
         spans: r.spans.clone(),
         counters: r.counters.clone(),
         histograms: r.histograms.clone(),
+        durations: r.durations.clone(),
+        alloc: BTreeMap::new(),
         events: r.events.clone(),
         dropped_events: r.dropped_events,
-    })
+    });
+    let write_errors = trace::trace_write_errors();
+    if write_errors > 0 {
+        snap.counters.insert("trace.write_errors".to_string(), write_errors);
+    }
+    snap.alloc = alloc::alloc_by_path().into_iter().collect();
+    snap
 }
 
 impl Snapshot {
@@ -348,13 +376,18 @@ impl Snapshot {
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         if !self.spans.is_empty() {
-            out.push_str("spans (path  count  total_ms  max_ms):\n");
+            out.push_str("spans (path  count  total_ms  p50_ms  p99_ms  max_ms):\n");
             for (path, s) in &self.spans {
+                let q = self.durations.get(path);
+                let p50 = q.map_or(0, |d| d.p50());
+                let p99 = q.map_or(0, |d| d.p99());
                 let _ = writeln!(
                     out,
-                    "  {path}  {}  {:.3}  {:.3}",
+                    "  {path}  {}  {:.3}  {:.3}  {:.3}  {:.3}",
                     s.count,
                     s.total_ns as f64 / 1e6,
+                    p50 as f64 / 1e6,
+                    p99 as f64 / 1e6,
                     s.max_ns as f64 / 1e6,
                 );
             }
@@ -366,15 +399,24 @@ impl Snapshot {
             }
         }
         if !self.histograms.is_empty() {
-            out.push_str("histograms (name  count  mean  buckets>0):\n");
+            out.push_str("histograms (name  count  mean  p50  p90  p99  max):\n");
             for (name, h) in &self.histograms {
-                let occupied = h.buckets.iter().filter(|&&b| b > 0).count();
                 let _ = writeln!(
                     out,
-                    "  {name}  {}  {:.1}  {occupied}",
+                    "  {name}  {}  {:.1}  {}  {}  {}  {}",
                     h.count,
-                    h.mean()
+                    h.mean(),
+                    h.p50(),
+                    h.p90(),
+                    h.p99(),
+                    h.max,
                 );
+            }
+        }
+        if !self.alloc.is_empty() {
+            out.push_str("alloc (path  count  bytes  peak):\n");
+            for (path, a) in &self.alloc {
+                let _ = writeln!(out, "  {path}  {}  {}  {}", a.count, a.bytes, a.peak);
             }
         }
         if !self.events.is_empty() || self.dropped_events > 0 {
@@ -415,10 +457,14 @@ impl Snapshot {
             self.spans
                 .iter()
                 .map(|(path, s)| {
+                    let q = self.durations.get(path);
                     Value::Object(vec![
                         ("path".into(), Value::String(path.clone())),
                         ("count".into(), int(s.count)),
                         ("total_ns".into(), int(s.total_ns)),
+                        ("p50_ns".into(), int(q.map_or(0, |d| d.p50()))),
+                        ("p90_ns".into(), int(q.map_or(0, |d| d.p90()))),
+                        ("p99_ns".into(), int(q.map_or(0, |d| d.p99()))),
                         ("max_ns".into(), int(s.max_ns)),
                     ])
                 })
@@ -435,22 +481,33 @@ impl Snapshot {
                 .iter()
                 .map(|(name, h)| {
                     let buckets = Value::Array(
-                        h.buckets
-                            .iter()
-                            .enumerate()
-                            .filter(|(_, &c)| c > 0)
-                            .map(|(b, &c)| {
-                                let lo = if b == 0 { 0u64 } else { 1u64 << (b - 1) };
-                                Value::Array(vec![int(lo), int(c)])
-                            })
+                        h.occupied()
+                            .map(|(lo, c)| Value::Array(vec![int(lo), int(c)]))
                             .collect(),
                     );
                     let body = Value::Object(vec![
                         ("count".into(), int(h.count)),
                         ("sum".into(), int(h.sum)),
+                        ("p50".into(), int(h.p50())),
+                        ("p90".into(), int(h.p90())),
+                        ("p99".into(), int(h.p99())),
+                        ("max".into(), int(h.max)),
                         ("buckets".into(), buckets),
                     ]);
                     (name.clone(), body)
+                })
+                .collect(),
+        );
+        let alloc = Value::Object(
+            self.alloc
+                .iter()
+                .map(|(path, a)| {
+                    let body = Value::Object(vec![
+                        ("count".into(), int(a.count)),
+                        ("bytes".into(), int(a.bytes)),
+                        ("peak".into(), int(a.peak)),
+                    ]);
+                    (path.clone(), body)
                 })
                 .collect(),
         );
@@ -473,6 +530,7 @@ impl Snapshot {
             ("spans".into(), spans),
             ("counters".into(), counters),
             ("histograms".into(), histograms),
+            ("alloc".into(), alloc),
             ("events".into(), events),
             ("dropped_events".into(), int(self.dropped_events)),
         ]);
@@ -495,14 +553,19 @@ pub(crate) fn float(v: f64) -> Value {
     }
 }
 
+/// One lock for every in-crate test that flips the global switch or
+/// mutates the registry — the lib and trace test modules share state, so
+/// they must share the lock too.
+#[cfg(test)]
+pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     /// The switch and registry are process-global; serialize tests.
     fn serialized<T>(f: impl FnOnce() -> T) -> T {
-        static LOCK: Mutex<()> = Mutex::new(());
-        let _guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
         set_enabled(true);
         reset();
         let out = f();
@@ -556,20 +619,36 @@ mod tests {
     }
 
     #[test]
-    fn histogram_buckets_are_log_scale() {
+    fn histograms_are_quantile_sketches() {
         serialized(|| {
-            for v in [0u64, 1, 2, 3, 4, 1000] {
+            for v in 1..=100u64 {
                 histogram_record("h", v);
             }
             let snap = snapshot();
             let h = &snap.histograms["h"];
-            assert_eq!(h.count, 6);
-            assert_eq!(h.sum, 1010);
-            assert_eq!(h.buckets[0], 1); // 0
-            assert_eq!(h.buckets[1], 1); // 1
-            assert_eq!(h.buckets[2], 2); // 2, 3
-            assert_eq!(h.buckets[3], 1); // 4
-            assert_eq!(h.buckets[10], 1); // 1000 ∈ [512, 1024)
+            assert_eq!(h.count, 100);
+            assert_eq!(h.sum, 5050);
+            assert_eq!(h.min, 1);
+            assert_eq!(h.max, 100);
+            // Sketch quantiles overestimate by at most one bucket (1/16).
+            for (q, truth) in [(0.5, 50u64), (0.9, 90), (0.99, 99)] {
+                let est = h.quantile(q);
+                assert!(est >= truth && est <= truth + truth / 16 + 1, "q={q}: {est}");
+            }
+        });
+    }
+
+    #[test]
+    fn span_durations_feed_quantile_sketches() {
+        serialized(|| {
+            for _ in 0..5 {
+                let _s = span("timed");
+            }
+            let snap = snapshot();
+            let d = &snap.durations["timed"];
+            assert_eq!(d.count, 5);
+            assert!(d.p99() >= d.p50());
+            assert!(snap.spans["timed"].max_ns >= d.p50());
         });
     }
 
@@ -600,8 +679,33 @@ mod tests {
             let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
             assert_eq!(
                 keys,
-                ["spans", "counters", "histograms", "events", "dropped_events"]
+                ["spans", "counters", "histograms", "alloc", "events", "dropped_events"]
             );
+        });
+    }
+
+    #[test]
+    fn alloc_attribution_reaches_the_snapshot() {
+        serialized(|| {
+            alloc::set_alloc_enabled(true);
+            alloc::reset_alloc();
+            {
+                let _s = span("alloc_test.phase");
+                let v: Vec<u8> = Vec::with_capacity(50_000);
+                drop(v);
+            }
+            alloc::set_alloc_enabled(false);
+            let snap = snapshot();
+            let stat = snap
+                .alloc
+                .get("alloc_test.phase")
+                .expect("span path appears in alloc accounting");
+            assert!(stat.count >= 1);
+            assert!(stat.bytes >= 50_000, "bytes = {}", stat.bytes);
+            assert!(stat.peak >= 50_000, "peak = {}", stat.peak);
+            let json = snap.to_json();
+            assert!(json.contains("alloc_test.phase"), "{json}");
+            alloc::reset_alloc();
         });
     }
 

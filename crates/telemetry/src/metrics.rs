@@ -1,0 +1,211 @@
+//! Periodic metrics snapshots: the `multiclust-metrics/v1` JSONL stream.
+//!
+//! [`start_metrics`] spawns one telemetry-owned sampler thread that
+//! writes a snapshot line to the given file on a wall-clock interval —
+//! counters, quantiles from the duration/histogram sketches, allocator
+//! gauges, and the dropped-event count — so a long fit (or, later, the
+//! resident service) has a live, dashboardable signal without waiting for
+//! the end-of-run trace flush. The stream is observational only: the
+//! sampler reads the registry under its lock but never writes to it,
+//! never touches stdout, and never consumes randomness, so output stays
+//! byte-identical with the stream on or off.
+//!
+//! ## Line types
+//!
+//! ```text
+//! {"type":"meta","schema":"multiclust-metrics/v1","interval_ms":200}
+//! {"type":"snapshot","seq":0,"elapsed_ms":0,"counters":{...},
+//!  "quantiles":{"span:kmeans.fit":{"count":1,"p50":...,"p90":...,"p99":...,"max":...}},
+//!  "alloc":{"enabled":true,"count":...,"bytes":...,"live":...,"peak":...},
+//!  "events_dropped":0}
+//! {"type":"end","snapshots":4}                      // on stop
+//! ```
+//!
+//! A snapshot is written immediately on start and a final one on
+//! [`stop_metrics`], so even a run shorter than the interval yields at
+//! least two snapshot lines. Span-duration sketches are keyed
+//! `span:<path>`, plain histograms by their own name.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use serde::Value;
+
+use crate::alloc::{alloc_enabled, alloc_totals};
+use crate::sketch::Sketch;
+use crate::{float, int};
+
+/// Schema identifier on the stream's first line.
+pub const METRICS_SCHEMA: &str = "multiclust-metrics/v1";
+
+/// Default wall-clock sampling interval (`MULTICLUST_METRICS_INTERVAL_MS`
+/// overrides).
+pub const DEFAULT_INTERVAL: Duration = Duration::from_millis(200);
+
+struct Sampler {
+    stop: Arc<AtomicBool>,
+    handle: JoinHandle<()>,
+}
+
+static SAMPLER: Mutex<Option<Sampler>> = Mutex::new(None);
+
+/// Whether a metrics stream is currently running.
+pub fn metrics_enabled() -> bool {
+    SAMPLER.lock().unwrap_or_else(|p| p.into_inner()).is_some()
+}
+
+fn quantile_obj(s: &Sketch) -> Value {
+    Value::Object(vec![
+        ("count".into(), int(s.count)),
+        ("mean".into(), float(s.mean())),
+        ("p50".into(), int(s.p50())),
+        ("p90".into(), int(s.p90())),
+        ("p99".into(), int(s.p99())),
+        ("max".into(), int(s.max)),
+    ])
+}
+
+fn snapshot_line(seq: u64, started: Instant) -> Value {
+    let snap = crate::snapshot();
+    let counters = Value::Object(
+        snap.counters.iter().map(|(k, &v)| (k.clone(), int(v))).collect(),
+    );
+    let mut quantiles: Vec<(String, Value)> = snap
+        .durations
+        .iter()
+        .map(|(path, s)| (format!("span:{path}"), quantile_obj(s)))
+        .collect();
+    quantiles.extend(snap.histograms.iter().map(|(name, s)| (name.clone(), quantile_obj(s))));
+    let gauges = alloc_totals();
+    let alloc = Value::Object(vec![
+        ("enabled".into(), Value::Bool(alloc_enabled())),
+        ("count".into(), int(gauges.count)),
+        ("bytes".into(), int(gauges.bytes)),
+        ("live".into(), Value::Int(gauges.live)),
+        ("peak".into(), int(gauges.peak)),
+    ]);
+    Value::Object(vec![
+        ("type".into(), Value::String("snapshot".into())),
+        ("seq".into(), int(seq)),
+        ("elapsed_ms".into(), int(started.elapsed().as_millis() as u64)),
+        ("counters".into(), counters),
+        ("quantiles".into(), Value::Object(quantiles)),
+        ("alloc".into(), alloc),
+        ("events_dropped".into(), int(snap.dropped_events)),
+    ])
+}
+
+fn write_line(w: &mut BufWriter<File>, value: &Value) {
+    if let Ok(json) = serde_json::to_string(value) {
+        let _ = w.write_all(json.as_bytes());
+        let _ = w.write_all(b"\n");
+    }
+}
+
+/// Opens `path` (truncating), writes the schema meta line, and spawns the
+/// sampler thread. Any previously running stream is stopped first. Does
+/// not flip the main telemetry switch — callers that want content in the
+/// snapshots should also call [`crate::set_enabled`] (the CLI's
+/// `--metrics` does both).
+pub fn start_metrics(path: &Path, interval: Duration) -> std::io::Result<()> {
+    stop_metrics();
+    let file = File::create(path)?;
+    let mut writer = BufWriter::new(file);
+    write_line(
+        &mut writer,
+        &Value::Object(vec![
+            ("type".into(), Value::String("meta".into())),
+            ("schema".into(), Value::String(METRICS_SCHEMA.into())),
+            ("interval_ms".into(), int(interval.as_millis() as u64)),
+        ]),
+    );
+    let _ = writer.flush();
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_seen = Arc::clone(&stop);
+    let interval = interval.max(Duration::from_millis(1));
+    let handle = std::thread::Builder::new()
+        .name("multiclust-metrics".into())
+        .spawn(move || {
+            let started = Instant::now();
+            let mut seq = 0u64;
+            loop {
+                write_line(&mut writer, &snapshot_line(seq, started));
+                let _ = writer.flush();
+                seq += 1;
+                // Sleep in short slices so stop latency stays low even at
+                // long intervals; on stop, emit one final snapshot so the
+                // stream always ends with the run's complete totals.
+                let mut slept = Duration::ZERO;
+                while slept < interval {
+                    if stop_seen.load(Ordering::Acquire) {
+                        write_line(&mut writer, &snapshot_line(seq, started));
+                        write_line(
+                            &mut writer,
+                            &Value::Object(vec![
+                                ("type".into(), Value::String("end".into())),
+                                ("snapshots".into(), int(seq + 1)),
+                            ]),
+                        );
+                        let _ = writer.flush();
+                        return;
+                    }
+                    let step = (interval - slept).min(Duration::from_millis(20));
+                    std::thread::sleep(step);
+                    slept += step;
+                }
+            }
+        })?;
+    let mut guard = SAMPLER.lock().unwrap_or_else(|p| p.into_inner());
+    *guard = Some(Sampler { stop, handle });
+    Ok(())
+}
+
+/// Signals the sampler to write its final snapshot and `end` line, then
+/// joins it. No-op when no stream is running.
+pub fn stop_metrics() {
+    let sampler = SAMPLER.lock().unwrap_or_else(|p| p.into_inner()).take();
+    if let Some(s) = sampler {
+        s.stop.store(true, Ordering::Release);
+        let _ = s.handle.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_yields_meta_two_snapshots_and_end() {
+        let path = std::env::temp_dir()
+            .join(format!("multiclust-metrics-test-{}.jsonl", std::process::id()));
+        start_metrics(&path, Duration::from_millis(5)).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        stop_metrics();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert!(lines.len() >= 4, "expected meta + ≥2 snapshots + end:\n{body}");
+        let first: Value = serde_json::from_str(lines[0]).unwrap();
+        let Value::Object(obj) = &first else { panic!("meta not an object") };
+        assert!(obj.iter().any(|(k, v)| {
+            k == "schema" && matches!(v, Value::String(s) if s == METRICS_SCHEMA)
+        }));
+        let snapshots = lines
+            .iter()
+            .filter(|l| {
+                let v: Value = serde_json::from_str(l).expect("every line parses");
+                let Value::Object(o) = v else { return false };
+                o.iter().any(|(k, v)| {
+                    k == "type" && matches!(v, Value::String(s) if s == "snapshot")
+                })
+            })
+            .count();
+        assert!(snapshots >= 2, "only {snapshots} snapshot lines:\n{body}");
+        assert!(body.contains("\"type\":\"end\"") || body.contains("\"type\": \"end\""));
+        let _ = std::fs::remove_file(&path);
+    }
+}

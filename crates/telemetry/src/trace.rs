@@ -31,15 +31,32 @@ use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{BufRead, BufWriter, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Mutex;
 
 use serde::Value;
 
-use crate::Event;
+use crate::{AllocStat, Event};
 
 /// Schema identifier written as the first line of every trace file.
 pub const TRACE_SCHEMA: &str = "multiclust-trace/v1";
+
+/// Lines the sink failed to serialize or write (full disk, closed pipe).
+/// Failures stay swallowed at the call site — a full disk must not panic
+/// inside a span guard's `Drop` — but they are *counted* here and
+/// surfaced as the `trace.write_errors` counter in [`crate::snapshot`]
+/// and as `write_errors` on the trace `end` line.
+static WRITE_ERRORS: AtomicU64 = AtomicU64::new(0);
+
+/// Sink write failures so far (serialization or I/O).
+pub fn trace_write_errors() -> u64 {
+    WRITE_ERRORS.load(Ordering::Relaxed)
+}
+
+/// Zeroes the write-error count (part of [`crate::reset`]).
+pub(crate) fn reset_write_errors() {
+    WRITE_ERRORS.store(0, Ordering::Relaxed);
+}
 
 /// 0 = no sink, 1 = sink open. Checked with one relaxed load on the hot
 /// path before touching the sink mutex.
@@ -110,13 +127,23 @@ pub fn open_trace(path: Option<&Path>, append: bool) -> std::io::Result<()> {
 }
 
 impl Sink {
-    /// Serializes one value as a JSONL line. I/O errors are swallowed: a
-    /// full disk must not panic inside a span guard's `Drop`.
+    /// Serializes one value as a JSONL line. I/O errors must not panic
+    /// inside a span guard's `Drop`, so they are swallowed here — but
+    /// counted in [`WRITE_ERRORS`] so the loss is visible in the registry
+    /// and on the `end` line instead of silent.
     fn write_line(&mut self, value: &Value) {
-        if let Ok(json) = serde_json::to_string(value) {
-            let _ = self.writer.write_all(json.as_bytes());
-            let _ = self.writer.write_all(b"\n");
-            self.lines += 1;
+        match serde_json::to_string(value) {
+            Ok(json) => {
+                let ok = self.writer.write_all(json.as_bytes()).is_ok()
+                    && self.writer.write_all(b"\n").is_ok();
+                if !ok {
+                    WRITE_ERRORS.fetch_add(1, Ordering::Relaxed);
+                }
+                self.lines += 1;
+            }
+            Err(_) => {
+                WRITE_ERRORS.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -194,15 +221,33 @@ pub fn flush_trace() {
                 ("name".into(), Value::String(name.clone())),
                 ("count".into(), crate::int(h.count)),
                 ("sum".into(), crate::int(h.sum)),
+                ("p50".into(), crate::int(h.p50())),
+                ("p90".into(), crate::int(h.p90())),
+                ("p99".into(), crate::int(h.p99())),
+                ("max".into(), crate::int(h.max)),
+            ]));
+        }
+        // Per-phase allocation accounting (present only when
+        // `MULTICLUST_ALLOC` was on and something allocated).
+        for (path, a) in &snap.alloc {
+            sink.write_line(&Value::Object(vec![
+                ("type".into(), Value::String("alloc".into())),
+                ("path".into(), Value::String(path.clone())),
+                ("count".into(), crate::int(a.count)),
+                ("bytes".into(), crate::int(a.bytes)),
+                ("peak".into(), crate::int(a.peak)),
             ]));
         }
         let lines = sink.lines + 1;
         sink.write_line(&Value::Object(vec![
             ("type".into(), Value::String("end".into())),
             ("events_dropped".into(), crate::int(snap.dropped_events)),
+            ("write_errors".into(), crate::int(trace_write_errors())),
             ("lines".into(), crate::int(lines)),
         ]));
-        let _ = sink.writer.flush();
+        if sink.writer.flush().is_err() {
+            WRITE_ERRORS.fetch_add(1, Ordering::Relaxed);
+        }
     });
 }
 
@@ -221,11 +266,16 @@ pub struct TraceFile {
     pub events: Vec<Event>,
     /// Final counter values from the flush.
     pub counters: BTreeMap<String, u64>,
+    /// Per-span-path allocation accounting from the flush (empty unless
+    /// the run had `MULTICLUST_ALLOC=1`).
+    pub alloc: BTreeMap<String, AllocStat>,
     /// Whether the `end` line was present (the run flushed cleanly).
     pub ended: bool,
     /// Events dropped from the in-memory registry (the trace itself keeps
     /// streaming past the cap).
     pub events_dropped: u64,
+    /// Sink write failures reported on the `end` line.
+    pub write_errors: u64,
     /// Total parsed lines.
     pub lines: usize,
 }
@@ -328,9 +378,22 @@ pub fn read_trace(path: &Path) -> Result<TraceFile, String> {
                 out.counters.insert(name.to_string(), value);
             }
             "hist" => {} // summary only; nothing to accumulate
+            "alloc" => {
+                let path = field_str(&obj, "path")
+                    .ok_or_else(|| format!("line {lineno}: alloc without \"path\""))?;
+                out.alloc.insert(
+                    path.to_string(),
+                    AllocStat {
+                        count: field_u64(&obj, "count").unwrap_or(0),
+                        bytes: field_u64(&obj, "bytes").unwrap_or(0),
+                        peak: field_u64(&obj, "peak").unwrap_or(0),
+                    },
+                );
+            }
             "end" => {
                 out.ended = true;
                 out.events_dropped = field_u64(&obj, "events_dropped").unwrap_or(0);
+                out.write_errors = field_u64(&obj, "write_errors").unwrap_or(0);
             }
             other => return Err(format!("line {lineno}: unknown line type {other:?}")),
         }
@@ -393,15 +456,25 @@ pub fn collapse_spans(trace: &TraceFile) -> String {
 
 /// Per-phase time attribution: a fixed-width table of span paths with
 /// call counts, total and self milliseconds, and self-time share of the
-/// trace's total self time.
+/// trace's total self time. Traces written under `MULTICLUST_ALLOC=1`
+/// additionally get per-phase `alloc.{count,bytes,peak}` columns
+/// (allocations charged while the phase was innermost on its thread).
 pub fn phase_summary(trace: &TraceFile) -> String {
     let totals = span_totals(trace);
     let all_self: u64 = totals.values().map(|t| t.2).sum();
+    let with_alloc = !trace.alloc.is_empty();
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<44}  {:>6}  {:>10}  {:>10}  {:>6}\n",
+        "{:<44}  {:>6}  {:>10}  {:>10}  {:>6}",
         "phase (span path)", "count", "total_ms", "self_ms", "self%"
     ));
+    if with_alloc {
+        out.push_str(&format!(
+            "  {:>11}  {:>12}  {:>12}",
+            "alloc.count", "alloc.bytes", "alloc.peak"
+        ));
+    }
+    out.push('\n');
     for (path, (count, total_ns, self_ns)) in &totals {
         let pct = if all_self == 0 {
             0.0
@@ -409,15 +482,32 @@ pub fn phase_summary(trace: &TraceFile) -> String {
             *self_ns as f64 * 100.0 / all_self as f64
         };
         out.push_str(&format!(
-            "{:<44}  {:>6}  {:>10.3}  {:>10.3}  {:>5.1}%\n",
+            "{:<44}  {:>6}  {:>10.3}  {:>10.3}  {:>5.1}%",
             path,
             count,
             *total_ns as f64 / 1e6,
             *self_ns as f64 / 1e6,
             pct
         ));
+        if with_alloc {
+            let a = trace.alloc.get(path).copied().unwrap_or_default();
+            out.push_str(&format!("  {:>11}  {:>12}  {:>12}", a.count, a.bytes, a.peak));
+        }
+        out.push('\n');
     }
-    if totals.is_empty() {
+    // Allocations charged outside any span (worker threads idling, setup
+    // before the first span) have no time row; list them after the table.
+    if with_alloc {
+        for (path, a) in &trace.alloc {
+            if !totals.contains_key(path) {
+                out.push_str(&format!(
+                    "{:<44}  {:>6}  {:>10}  {:>10}  {:>6}  {:>11}  {:>12}  {:>12}\n",
+                    path, "-", "-", "-", "-", a.count, a.bytes, a.peak
+                ));
+            }
+        }
+    }
+    if totals.is_empty() && trace.alloc.is_empty() {
         out.push_str("(no spans recorded)\n");
     }
     out
@@ -431,10 +521,10 @@ mod tests {
         std::env::temp_dir().join(format!("multiclust-trace-test-{}-{name}", std::process::id()))
     }
 
-    /// Sink and registry are process-global; serialize trace tests.
+    /// Sink and registry are process-global; serialize trace tests (on
+    /// the same lock as the lib tests — shared state, shared lock).
     fn serialized<T>(f: impl FnOnce() -> T) -> T {
-        static LOCK: Mutex<()> = Mutex::new(());
-        let _guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let _guard = crate::TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
         crate::set_enabled(true);
         crate::reset();
         let out = f();
@@ -502,6 +592,54 @@ mod tests {
         std::fs::write(&path, "{\"type\":\"meta\",\"schema\":\"other/v9\"}\n").unwrap();
         let err = read_trace(&path).unwrap_err();
         assert!(err.contains("unsupported schema"), "{err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn write_failures_are_counted_not_swallowed() {
+        // `/dev/full` accepts opens but fails every write with ENOSPC —
+        // the canonical "full sink". Skip where it doesn't exist.
+        let full = Path::new("/dev/full");
+        if !full.exists() {
+            return;
+        }
+        serialized(|| {
+            set_trace_path(Some(full)).expect("/dev/full opens");
+            // Push well past BufWriter's internal buffer so the failure
+            // surfaces mid-stream, not only at the final flush.
+            for i in 0..2_000 {
+                crate::event("e", &[("i", i as f64)]);
+            }
+            flush_trace();
+            assert!(trace_write_errors() > 0, "full sink must be counted");
+            let snap = crate::snapshot();
+            assert!(
+                snap.counters.get("trace.write_errors").copied().unwrap_or(0) > 0,
+                "write errors must surface as a registry counter"
+            );
+        });
+    }
+
+    #[test]
+    fn end_line_round_trips_write_errors_and_alloc() {
+        let path = tmp("endline.jsonl");
+        std::fs::write(
+            &path,
+            concat!(
+                "{\"type\":\"meta\",\"schema\":\"multiclust-trace/v1\"}\n",
+                "{\"type\":\"span\",\"path\":\"fit\",\"ns\":1000}\n",
+                "{\"type\":\"alloc\",\"path\":\"fit\",\"count\":3,\"bytes\":4096,\"peak\":2048}\n",
+                "{\"type\":\"end\",\"events_dropped\":0,\"write_errors\":7,\"lines\":4}\n",
+            ),
+        )
+        .unwrap();
+        let trace = read_trace(&path).expect("parseable");
+        assert_eq!(trace.write_errors, 7);
+        assert_eq!(trace.alloc["fit"].bytes, 4096);
+        assert_eq!(trace.alloc["fit"].peak, 2048);
+        let summary = phase_summary(&trace);
+        assert!(summary.contains("alloc.peak"), "{summary}");
+        assert!(summary.contains("2048"), "{summary}");
         let _ = std::fs::remove_file(&path);
     }
 

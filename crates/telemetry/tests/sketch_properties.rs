@@ -1,0 +1,75 @@
+//! Property tests of the mergeable quantile sketch: merging shards must
+//! be indistinguishable from recording the pooled stream, and reported
+//! quantiles must bound the true pooled quantile within one bucket's
+//! relative error (1/16, plus one integer step in the lowest octaves).
+
+use multiclust_telemetry::Sketch;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded sample stream spanning many octaves (the shapes span
+/// durations and batch sizes actually take: zeros, small counts, and
+/// values up to the tens-of-billions range of nanosecond timings).
+fn stream(seed: u64, max_len: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(1..=max_len);
+    (0..n)
+        .map(|_| {
+            let octave = rng.gen_range(0..36);
+            let base = 1u64 << octave;
+            rng.gen_range(0..base.saturating_mul(2).max(1))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Bucket-wise merge of two shards equals one sketch over the pooled
+    /// stream — exactly, not approximately.
+    #[test]
+    fn merge_is_lossless(seed in 0u64..1_000_000) {
+        let vals = stream(seed, 400);
+        let split = vals.len() / 2;
+        let mut a = Sketch::new();
+        let mut b = Sketch::new();
+        let mut pooled = Sketch::new();
+        for (i, &v) in vals.iter().enumerate() {
+            if i < split { a.record(v) } else { b.record(v) }
+            pooled.record(v);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a, pooled);
+    }
+
+    /// A merged sketch's p50/p90/p99 bound the true quantile of the
+    /// pooled, sorted stream from above, within one bucket's relative
+    /// error: t ≤ estimate ≤ t·(1 + 1/16) + 1.
+    #[test]
+    fn merged_quantiles_bound_the_pooled_stream(seed in 0u64..1_000_000) {
+        let vals = stream(seed, 400);
+        let split = vals.len() / 3;
+        let mut a = Sketch::new();
+        let mut b = Sketch::new();
+        for (i, &v) in vals.iter().enumerate() {
+            if i < split { a.record(v) } else { b.record(v) }
+        }
+        a.merge(&b);
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.99] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[rank - 1];
+            let est = a.quantile(q);
+            prop_assert!(est >= truth, "q={}: est {} < true {}", q, est, truth);
+            prop_assert!(
+                est <= truth + truth / 16 + 1,
+                "q={}: est {} exceeds one-bucket bound above true {}",
+                q, est, truth
+            );
+        }
+        prop_assert_eq!(a.quantile(1.0), sorted[sorted.len() - 1]);
+        prop_assert_eq!(a.min, sorted[0]);
+    }
+}

@@ -50,7 +50,10 @@ MULTICLUST_KERNELS=blocked MULTICLUST_KERNELS_F32=1 \
     --input "$tmp/data.csv" --k 3 --seed 1 > "$tmp/blocked32.csv"
 cmp "$tmp/blocked32.csv" "$tmp/naive.csv"
 ./target/release/multiclust bench --smoke > "$tmp/bench.json" 2> "$tmp/bench.err"
-grep -q '"schema": "multiclust-bench/v1"' "$tmp/bench.json"
+grep -q '"schema": "multiclust-bench/v2"' "$tmp/bench.json"
+grep -q '"kernels.flops"' "$tmp/bench.json"
+grep -q '"kernels.bytes_touched"' "$tmp/bench.json"
+grep -q 'B/FLOP' "$tmp/bench.err"
 for family in kmeans spectral coala dec-kmeans meta proclus; do
     grep -q "\"id\": \"$family-n" "$tmp/bench.json"
 done
@@ -89,6 +92,40 @@ grep -q '"type":"end"' "$tmp/run.trace.jsonl"
     | grep -q '^kmeans.fit '
 ./target/release/multiclust diagnose "$tmp/run.trace.jsonl" > "$tmp/diag.txt"
 grep -q 'kmeans.iter' "$tmp/diag.txt"
+
+# Resource observability: allocation accounting must never change a
+# single stdout byte, and the `--metrics` sampler must leave behind a
+# parseable multiclust-metrics/v1 stream with at least two snapshots
+# (first immediate, last at stop) plus an end line.
+MULTICLUST_ALLOC=1 ./target/release/multiclust kmeans \
+    --input "$tmp/data.csv" --k 3 --seed 1 \
+    --trace "$tmp/alloc.trace.jsonl" > "$tmp/alloc.csv"
+cmp "$tmp/plain.csv" "$tmp/alloc.csv"
+./target/release/multiclust trace "$tmp/alloc.trace.jsonl" \
+    | grep -q 'alloc.peak'
+MULTICLUST_ALLOC=1 ./target/release/multiclust kmeans \
+    --input "$tmp/data.csv" --k 3 --seed 1 \
+    --metrics "$tmp/run.metrics.jsonl" > "$tmp/metrics.csv"
+cmp "$tmp/plain.csv" "$tmp/metrics.csv"
+head -1 "$tmp/run.metrics.jsonl" | grep -q 'multiclust-metrics/v1'
+snapshots=$(grep -c '"type":"snapshot"' "$tmp/run.metrics.jsonl")
+test "$snapshots" -ge 2
+grep -q '"type":"end"' "$tmp/run.metrics.jsonl"
+
+# A corrupt trace must fail diagnose with a clean error naming the bad
+# line — no panic, no usage dump.
+printf '{"type":"meta","schema":"multiclust-trace/v1"}\n{"type":"ev' \
+    > "$tmp/corrupt.jsonl"
+if ./target/release/multiclust diagnose "$tmp/corrupt.jsonl" \
+    > /dev/null 2> "$tmp/corrupt.err"; then
+    echo "check.sh: corrupt trace was NOT rejected" >&2
+    exit 1
+fi
+grep -q 'line 2' "$tmp/corrupt.err"
+if grep -q 'usage:' "$tmp/corrupt.err"; then
+    echo "check.sh: data error printed the usage dump" >&2
+    exit 1
+fi
 
 # Baseline trend over the checked-in BENCH_*.json reports.
 ./target/release/multiclust trend | grep -q 'kmeans-n1000'

@@ -67,6 +67,17 @@ common flags: --header            first CSV line is a header row
               --trace <file>      stream a multiclust-trace/v1 JSONL trace
                                   of the run to <file> (implies telemetry;
                                   stdout stays byte-identical)
+              --metrics <file>    stream periodic multiclust-metrics/v1
+                                  JSONL snapshots (counters, quantiles,
+                                  allocation gauges) to <file> while the
+                                  run executes (implies telemetry);
+                                  MULTICLUST_METRICS_INTERVAL_MS sets the
+                                  sampling interval (default 200)
+
+environment:  MULTICLUST_ALLOC=1  attribute heap allocations (count/bytes/
+                                  peak) to the active span; surfaced by
+                                  --telemetry, --trace and --metrics;
+                                  stdout stays byte-identical
 
 output: CSV on stdout — one column per solution, label per object,
         -1 for noise; `subspace` prints one cluster per line instead;
@@ -84,10 +95,15 @@ output: CSV on stdout — one column per solution, label per object,
 ";
 
 fn main() -> ExitCode {
+    // Allocation accounting must be live before the command allocates
+    // anything worth attributing (no-op unless MULTICLUST_ALLOC=1).
+    multiclust::telemetry::alloc::init_from_env();
     let result = run(std::env::args().skip(1).collect());
     // Finalize the trace sink (counters, end line) whether the command
-    // succeeded or not; no-op when no sink is open.
+    // succeeded or not; no-op when no sink is open. The metrics sampler
+    // stops afterwards so its final snapshot sees the flushed counters.
     multiclust::telemetry::trace::flush_trace();
+    multiclust::telemetry::metrics::stop_metrics();
     match result {
         Ok(Outcome { output, passed }) => {
             print!("{output}");
@@ -98,9 +114,38 @@ fn main() -> ExitCode {
             }
         }
         Err(e) => {
-            eprintln!("error: {e}\n\n{USAGE}");
+            // Usage errors (bad flags, unknown commands) get the full
+            // usage text; runtime errors (unreadable input, corrupt
+            // trace) stay one clean line so the cause isn't buried.
+            if e.usage {
+                eprintln!("error: {}\n\n{USAGE}", e.message);
+            } else {
+                eprintln!("error: {}", e.message);
+            }
             ExitCode::FAILURE
         }
+    }
+}
+
+/// A command-line failure: the message plus whether it is the user's
+/// flag spelling (print usage) or a runtime problem with their files
+/// (don't bury the cause under the usage dump).
+struct CliError {
+    message: String,
+    usage: bool,
+}
+
+impl CliError {
+    /// A runtime error: printed as a single clean line, no usage text.
+    fn plain(message: String) -> Self {
+        Self { message, usage: false }
+    }
+}
+
+/// Bare-`String` errors are flag/command mistakes and keep the usage dump.
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        Self { message, usage: true }
     }
 }
 
@@ -208,14 +253,14 @@ fn telemetry_mode(flags: &Flags) -> Result<Option<TelemetryMode>, String> {
     }
 }
 
-fn run(args: Vec<String>) -> Result<Outcome, String> {
+fn run(args: Vec<String>) -> Result<Outcome, CliError> {
     let Some((command, rest)) = args.split_first() else {
-        return Err("no command given".into());
+        return Err(CliError::from("no command given".to_string()));
     };
     let flags = Flags::parse(rest)?;
     if !matches!(command.as_str(), "trace" | "diagnose") {
         if let Some(stray) = flags.positional.first() {
-            return Err(format!("unexpected argument {stray:?} (expected a --flag)"));
+            return Err(format!("unexpected argument {stray:?} (expected a --flag)").into());
         }
     }
     let telemetry = telemetry_mode(&flags)?;
@@ -225,20 +270,23 @@ fn run(args: Vec<String>) -> Result<Outcome, String> {
     if let Some(path) = flags.get("trace") {
         setup_trace(path, command, &flags)?;
     }
+    if let Some(path) = flags.get("metrics") {
+        setup_metrics(path, &flags)?;
+    }
     let outcome = match command.as_str() {
-        "kmeans" => cmd_kmeans(&flags).map(Outcome::ok),
-        "dbscan" => cmd_dbscan(&flags).map(Outcome::ok),
-        "dec-kmeans" => cmd_dec_kmeans(&flags).map(Outcome::ok),
-        "alternative" => cmd_alternative(&flags).map(Outcome::ok),
-        "subspace" => cmd_subspace(&flags).map(Outcome::ok),
-        "compare" => cmd_compare(&flags).map(Outcome::ok),
-        "verify" => cmd_verify(&flags),
-        "bench" => cmd_bench(&flags),
+        "kmeans" => cmd_kmeans(&flags).map(Outcome::ok).map_err(CliError::from),
+        "dbscan" => cmd_dbscan(&flags).map(Outcome::ok).map_err(CliError::from),
+        "dec-kmeans" => cmd_dec_kmeans(&flags).map(Outcome::ok).map_err(CliError::from),
+        "alternative" => cmd_alternative(&flags).map(Outcome::ok).map_err(CliError::from),
+        "subspace" => cmd_subspace(&flags).map(Outcome::ok).map_err(CliError::from),
+        "compare" => cmd_compare(&flags).map(Outcome::ok).map_err(CliError::from),
+        "verify" => cmd_verify(&flags).map_err(CliError::from),
+        "bench" => cmd_bench(&flags).map_err(CliError::from),
         "trace" => cmd_trace(&flags).map(Outcome::ok),
         "diagnose" => cmd_diagnose(&flags),
-        "trend" => cmd_trend(&flags).map(Outcome::ok),
+        "trend" => cmd_trend(&flags).map(Outcome::ok).map_err(CliError::from),
         "help" | "--help" | "-h" => Ok(Outcome::ok(USAGE.to_string())),
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(format!("unknown command {other:?}").into()),
     }?;
     // Telemetry goes to stderr so stdout CSV stays byte-identical to a run
     // without the flag and keeps piping cleanly.
@@ -273,6 +321,26 @@ fn setup_trace(path: &str, command: &str, flags: &Flags) -> Result<(), String> {
         ("threads", Value::Int(multiclust::parallel::current_threads() as i64)),
         ("kernel_mode", Value::String(kernel_mode.to_string())),
     ]);
+    Ok(())
+}
+
+/// Opens the `--metrics` snapshot stream. Implies telemetry (there is
+/// nothing to sample otherwise); stdout stays byte-identical because
+/// snapshots go to their own file from the sampler thread.
+fn setup_metrics(path: &str, flags: &Flags) -> Result<(), String> {
+    use multiclust::telemetry::metrics;
+    let interval_ms: u64 = match std::env::var("MULTICLUST_METRICS_INTERVAL_MS") {
+        Ok(v) => v.parse().map_err(|_| {
+            format!("MULTICLUST_METRICS_INTERVAL_MS: cannot parse {v:?} as milliseconds")
+        })?,
+        Err(_) => flags.parsed_or("metrics-interval-ms", 200u64)?,
+    };
+    metrics::start_metrics(
+        Path::new(path),
+        std::time::Duration::from_millis(interval_ms.max(1)),
+    )
+    .map_err(|e| format!("flag --metrics: cannot open {path}: {e}"))?;
+    multiclust::telemetry::set_enabled(true);
     Ok(())
 }
 
@@ -527,19 +595,21 @@ fn cmd_bench(flags: &Flags) -> Result<Outcome, String> {
     Ok(Outcome { output: json, passed })
 }
 
-fn cmd_trace(flags: &Flags) -> Result<String, String> {
+fn cmd_trace(flags: &Flags) -> Result<String, CliError> {
     use multiclust::telemetry::trace;
     let (path, collapse) = match flags.get("collapse") {
         Some(p) => (p.as_str(), true),
         None => {
-            let p = flags
-                .positional
-                .first()
-                .ok_or("trace needs a <trace.jsonl> argument (or --collapse <file>)")?;
+            let p = flags.positional.first().ok_or_else(|| {
+                "trace needs a <trace.jsonl> argument (or --collapse <file>)".to_string()
+            })?;
             (p.as_str(), false)
         }
     };
-    let parsed = trace::read_trace(Path::new(path))?;
+    // A trace file that won't open or parse is a data problem, not a
+    // usage mistake: report the named line cleanly, skip the usage dump.
+    let parsed = trace::read_trace(Path::new(path))
+        .map_err(|e| CliError::plain(format!("trace {path}: {e}")))?;
     if collapse {
         Ok(trace::collapse_spans(&parsed))
     } else {
@@ -555,13 +625,17 @@ fn cmd_trace(flags: &Flags) -> Result<String, String> {
     }
 }
 
-fn cmd_diagnose(flags: &Flags) -> Result<Outcome, String> {
+fn cmd_diagnose(flags: &Flags) -> Result<Outcome, CliError> {
     use multiclust::telemetry::{diagnose, trace};
     let path = flags
         .positional
         .first()
-        .ok_or("diagnose needs a <trace.jsonl> argument")?;
-    let parsed = trace::read_trace(Path::new(path))?;
+        .ok_or_else(|| "diagnose needs a <trace.jsonl> argument".to_string())?;
+    // Truncated or corrupt traces (a crashed or still-running producer)
+    // are expected inputs here: fail with the offending line number, not
+    // a panic or a usage dump.
+    let parsed = trace::read_trace(Path::new(path))
+        .map_err(|e| CliError::plain(format!("diagnose {path}: {e}")))?;
     let report = diagnose::analyze(&parsed, &diagnose::DiagnoseOptions::default());
     let output = if flags.bool("json") {
         format!("{}\n", report.to_json())

@@ -653,6 +653,126 @@ fn trend_tabulates_checked_in_baselines() {
     assert!(text.contains("PR4"), "column per baseline: {text}");
 }
 
+/// PR-7 acceptance: a run with `MULTICLUST_ALLOC=1`, `--trace` and
+/// `--metrics` leaves stdout byte-identical, the trace summary gains
+/// per-phase `alloc.peak` attribution, and the metrics file is parseable
+/// `multiclust-metrics/v1` JSONL with at least two snapshots.
+#[test]
+fn alloc_and_metrics_instrumentation_keeps_stdout_identical() {
+    let dir = workdir("alloc-metrics");
+    let fb = four_blob_square(20, 10.0, 0.6, &mut seeded_rng(809));
+    let input = dir.join("data.csv");
+    write_csv(&fb.dataset, &input).unwrap();
+    let trace_path = dir.join("run.trace.jsonl");
+    let metrics_path = dir.join("run.metrics.jsonl");
+    let base_args =
+        ["kmeans", "--input", input.to_str().unwrap(), "--k", "4", "--seed", "13"];
+
+    let plain = bin().args(base_args).output().expect("binary runs");
+    assert!(plain.status.success());
+    let instrumented = bin()
+        .args(base_args)
+        .args(["--trace", trace_path.to_str().unwrap()])
+        .args(["--metrics", metrics_path.to_str().unwrap()])
+        .env("MULTICLUST_ALLOC", "1")
+        .output()
+        .expect("binary runs");
+    assert!(
+        instrumented.status.success(),
+        "{}",
+        String::from_utf8_lossy(&instrumented.stderr)
+    );
+    assert_eq!(plain.stdout, instrumented.stdout, "stdout must stay byte-identical");
+
+    // The trace summary attributes allocations per phase.
+    let summary = bin()
+        .args(["trace", trace_path.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(summary.status.success());
+    let text = String::from_utf8_lossy(&summary.stdout).to_string();
+    assert!(text.contains("alloc.peak"), "alloc columns in the summary: {text}");
+    assert!(text.contains("kmeans.fit"), "{text}");
+
+    // The metrics stream is standalone-JSON-per-line with ≥ 2 snapshots
+    // (first immediate, last at stop) and the schema on the first line.
+    let raw = fs::read_to_string(&metrics_path).expect("metrics file written");
+    let mut snapshots = 0;
+    for (i, line) in raw.lines().enumerate() {
+        serde_json::from_str::<serde_json::Value>(line)
+            .unwrap_or_else(|e| panic!("metrics line {}: {e}: {line}", i + 1));
+        if line.starts_with(r#"{"type":"snapshot""#) {
+            snapshots += 1;
+        }
+    }
+    assert!(
+        raw.starts_with(r#"{"type":"meta","schema":"multiclust-metrics/v1""#),
+        "first line announces the schema: {raw}"
+    );
+    assert!(snapshots >= 2, "expected ≥ 2 snapshots, got {snapshots}: {raw}");
+    assert!(raw.contains(r#""alloc":{"enabled":true"#), "alloc gauges sampled: {raw}");
+    assert!(raw.contains(r#""type":"end""#), "end line written on stop: {raw}");
+}
+
+/// A truncated or corrupt trace must fail `diagnose` (and `trace`) with a
+/// clean single-line error naming the offending line — no panic, and no
+/// usage dump burying the cause.
+#[test]
+fn diagnose_corrupt_trace_fails_cleanly() {
+    let dir = workdir("diagnose-corrupt");
+    // Mid-line truncation, as left behind by a crashed producer…
+    let truncated = dir.join("truncated.jsonl");
+    fs::write(
+        &truncated,
+        "{\"type\":\"meta\",\"schema\":\"multiclust-trace/v1\"}\n{\"type\":\"event\",\"seq\":0,\"na",
+    )
+    .unwrap();
+    // …and a line that is not JSON at all.
+    let invalid = dir.join("invalid.jsonl");
+    fs::write(
+        &invalid,
+        "{\"type\":\"meta\",\"schema\":\"multiclust-trace/v1\"}\nnot json at all\n",
+    )
+    .unwrap();
+
+    for (path, what) in [(&truncated, "truncated"), (&invalid, "invalid")] {
+        for cmd in ["diagnose", "trace"] {
+            let out = bin().args([cmd, path.to_str().unwrap()]).output().expect("runs");
+            assert!(!out.status.success(), "{what} trace must fail {cmd}");
+            let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+            assert!(stderr.starts_with("error:"), "clean error line: {stderr}");
+            assert!(stderr.contains("line 2"), "names the offending line: {stderr}");
+            assert!(
+                !stderr.contains("panicked") && !stderr.contains("RUST_BACKTRACE"),
+                "no panic output: {stderr}"
+            );
+            assert!(!stderr.contains("usage:"), "no usage dump on a data error: {stderr}");
+        }
+    }
+}
+
+/// The 7th injectable fault: an allocator hook that changes behaviour
+/// must be caught by `alloc-invariance`.
+#[test]
+fn verify_alloc_fault_fails_with_named_invariant() {
+    let out = bin()
+        .args([
+            "verify",
+            "--family",
+            "kmeans",
+            "--inject",
+            "alloc-perturbs-rng",
+            "--golden-dir",
+            "none",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "fault must fail the run");
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stdout.contains("violation: alloc-invariance"), "{stdout}");
+    assert!(stdout.contains("allocation accounting moved labels"), "{stdout}");
+}
+
 #[test]
 fn telemetry_text_mode_and_bad_mode() {
     let dir = workdir("telemetry-text");

@@ -7,7 +7,11 @@
 //!    bit-identical with the switch on or off;
 //! 4. the trace sink streams parseable `multiclust-trace/v1` JSONL and
 //!    never perturbs results either;
-//! 5. events past the in-memory cap are counted, not silently lost.
+//! 5. events past the in-memory cap are counted, not silently lost;
+//! 6. the counting allocator attributes heap traffic to spans without
+//!    moving a single label;
+//! 7. the `--metrics` sampler streams parseable `multiclust-metrics/v1`
+//!    snapshots with at least two data points per run.
 
 use std::sync::Mutex;
 
@@ -71,7 +75,7 @@ fn json_export_parses_with_vendored_serde_json() {
             panic!("telemetry JSON root must be an object");
         };
         let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
-        assert_eq!(keys, ["spans", "counters", "histograms", "events", "dropped_events"]);
+        assert_eq!(keys, ["spans", "counters", "histograms", "alloc", "events", "dropped_events"]);
         // The nested span path made it through.
         assert!(json.contains("outer/inner"), "{json}");
         // Non-finite field values must degrade to null, not break the JSON.
@@ -195,4 +199,96 @@ fn event_cap_overflow_is_counted_and_streamed() {
     assert_eq!(streamed, telemetry::MAX_EVENTS as u64 + overflow);
     assert_eq!(parsed.events_dropped, overflow, "end line reports the drop count");
     assert_eq!(parsed.counters["telemetry.events_dropped"], overflow);
+}
+
+/// The PR-7 counting allocator: switching accounting on attributes heap
+/// traffic to the span that was active at allocation time, shows up in
+/// both exporters, and reproduces every result bit-for-bit.
+#[test]
+fn alloc_accounting_attributes_spans_without_perturbing_results() {
+    use multiclust::telemetry::alloc;
+
+    let (off, on, snap) = serialized(|| {
+        alloc::set_alloc_enabled(false);
+        let off = fit_both();
+        telemetry::reset();
+
+        alloc::set_alloc_enabled(true);
+        let on = fit_both();
+        let snap = telemetry::snapshot();
+        alloc::set_alloc_enabled(false);
+        (off, on, snap)
+    });
+
+    // Accounting observed without perturbing: identical results.
+    assert_eq!(off.0, on.0, "k-means labels");
+    assert_eq!(off.1, on.1, "k-means SSE bits");
+    assert_eq!(off.2, on.2, "COALA partition");
+
+    // The fit's allocations were attributed to its spans.
+    let kmeans = snap
+        .alloc
+        .get("kmeans.fit")
+        .unwrap_or_else(|| panic!("no alloc stats for kmeans.fit: {:?}", snap.alloc.keys()));
+    assert!(kmeans.count > 0, "k-means fit must allocate");
+    assert!(kmeans.bytes > 0 && kmeans.peak > 0);
+    assert!(snap.to_text().contains("alloc (path"), "{}", snap.to_text());
+    assert!(snap.to_json().contains("\"alloc\""), "{}", snap.to_json());
+}
+
+/// The PR-7 metrics stream: a sampler attached for the duration of a fit
+/// leaves behind a parseable `multiclust-metrics/v1` JSONL file — a meta
+/// line, at least two snapshots (first immediate, last at stop), and an
+/// end line whose snapshot count matches.
+#[test]
+fn metrics_stream_emits_parseable_snapshots() {
+    use multiclust::telemetry::metrics;
+
+    let path = std::env::temp_dir()
+        .join(format!("multiclust-test-metrics-{}.jsonl", std::process::id()));
+    serialized(|| {
+        metrics::start_metrics(&path, std::time::Duration::from_millis(5))
+            .expect("open metrics stream");
+        let _ = fit_both();
+        std::thread::sleep(std::time::Duration::from_millis(15));
+        metrics::stop_metrics();
+    });
+    let raw = std::fs::read_to_string(&path).expect("metrics file exists");
+    let _ = std::fs::remove_file(&path);
+
+    let mut snapshots = 0u64;
+    let mut declared = None;
+    for (i, line) in raw.lines().enumerate() {
+        let v: serde_json::Value = serde_json::from_str(line)
+            .unwrap_or_else(|e| panic!("line {}: {e}: {line}", i + 1));
+        let serde_json::Value::Object(fields) = v else {
+            panic!("line {} is not an object", i + 1)
+        };
+        let ty = fields.iter().find(|(k, _)| k == "type").map(|(_, v)| v.clone());
+        match ty {
+            Some(serde_json::Value::String(s)) if s == "snapshot" => {
+                snapshots += 1;
+                for key in ["seq", "counters", "quantiles", "alloc", "events_dropped"] {
+                    assert!(
+                        fields.iter().any(|(k, _)| k == key),
+                        "snapshot line {} missing {key:?}",
+                        i + 1
+                    );
+                }
+            }
+            Some(serde_json::Value::String(s)) if s == "end" => {
+                declared = fields.iter().find_map(|(k, v)| match (k.as_str(), v) {
+                    ("snapshots", serde_json::Value::Int(n)) => Some(*n as u64),
+                    _ => None,
+                });
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        raw.starts_with(r#"{"type":"meta","schema":"multiclust-metrics/v1""#),
+        "{raw}"
+    );
+    assert!(snapshots >= 2, "expected at least 2 snapshots, got {snapshots}:\n{raw}");
+    assert_eq!(declared, Some(snapshots), "end line snapshot count");
 }
