@@ -32,6 +32,11 @@ pub enum Fault {
     /// switched on, simulating an allocator hook that changes behaviour —
     /// caught by `alloc-invariance`.
     AllocPerturbsRng,
+    /// Perturbs the RNG seed of the `fit` sent through the protocol
+    /// server, simulating a serving layer that re-seeds (or otherwise
+    /// desynchronises) the deterministic pipeline — caught by
+    /// `serve-equivalence`.
+    ServePerturbsRng,
 }
 
 impl Fault {
@@ -45,6 +50,7 @@ impl Fault {
             Fault::DesyncKernels,
             Fault::TracePerturbsRng,
             Fault::AllocPerturbsRng,
+            Fault::ServePerturbsRng,
         ]
     }
 
@@ -58,6 +64,7 @@ impl Fault {
             Fault::DesyncKernels => "desync-kernels",
             Fault::TracePerturbsRng => "trace-perturbs-rng",
             Fault::AllocPerturbsRng => "alloc-perturbs-rng",
+            Fault::ServePerturbsRng => "serve-perturbs-rng",
         }
     }
 
@@ -71,6 +78,7 @@ impl Fault {
             Fault::DesyncKernels => "kernel-equivalence",
             Fault::TracePerturbsRng => "trace-invariance",
             Fault::AllocPerturbsRng => "alloc-invariance",
+            Fault::ServePerturbsRng => "serve-equivalence",
         }
     }
 

@@ -16,6 +16,7 @@ use multiclust_core::Clustering;
 use multiclust_data::{seeded_rng, Dataset};
 use multiclust_linalg::kernels;
 use rand::Rng;
+use serde::Value;
 
 use crate::families::{AlgorithmFamily, FitInput};
 use crate::fault::Fault;
@@ -64,6 +65,7 @@ pub fn registry() -> Vec<Box<dyn Invariant>> {
         Box::new(KernelEquivalence),
         Box::new(TraceInvariance),
         Box::new(AllocInvariance),
+        Box::new(ServeEquivalence),
     ]
 }
 
@@ -984,6 +986,115 @@ impl Invariant for AllocInvariance {
         }
         Ok(())
     }
+}
+
+// ---------------------------------------------------------------------
+// 16. serve-equivalence
+// ---------------------------------------------------------------------
+
+/// The serving layer is a transport, not a participant: a `fit` through
+/// the `multiclust-serve/v1` protocol (in-process server, ephemeral
+/// localhost socket, same seed and thread settings) must reproduce the
+/// in-process fit bit-for-bit. This is the contract that makes a
+/// resident `multiclust serve` answer indistinguishable from a CLI run.
+pub struct ServeEquivalence;
+
+impl Invariant for ServeEquivalence {
+    fn name(&self) -> &'static str {
+        "serve-equivalence"
+    }
+    fn description(&self) -> &'static str {
+        "a fit through the protocol server is bit-identical to the in-process fit"
+    }
+    fn applies(&self, _: &dyn AlgorithmFamily, _: &Scenario) -> bool {
+        true
+    }
+    fn check(&self, family: &dyn AlgorithmFamily, ctx: &CheckContext) -> Result<(), String> {
+        let s = ctx.scenario;
+        // The fault models a serving layer that consumes or re-derives
+        // randomness: the served fit sees a perturbed seed and must come
+        // back different from the baseline.
+        let seed = if ctx.fault == Some(Fault::ServePerturbsRng) {
+            ctx.seed ^ 1
+        } else {
+            ctx.seed
+        };
+        let request = serve_fit_request(family.name(), s, seed);
+        let line = crate::service::shared_server_roundtrip(&request)?;
+        let served = parse_served_solutions(&line)?;
+        identical_solutions(&served, ctx.baseline)
+            .map_err(|e| format!("served fit diverged from the in-process fit: {e}"))
+    }
+}
+
+/// Renders a protocol `fit` request carrying the scenario's exact inputs
+/// (floats print shortest-roundtrip, so the server refits the identical
+/// bits).
+fn serve_fit_request(family: &str, s: &Scenario, seed: u64) -> String {
+    let rows = Value::Array(
+        s.dataset
+            .rows()
+            .map(|r| Value::Array(r.iter().map(|&x| Value::Float(x)).collect()))
+            .collect(),
+    );
+    let given = Value::Array(
+        s.given
+            .assignments()
+            .iter()
+            .map(|a| Value::Int(a.map_or(-1, |l| l as i64)))
+            .collect(),
+    );
+    let views = Value::Array(
+        s.view_groups
+            .iter()
+            .map(|g| Value::Array(g.iter().map(|&d| Value::Int(d as i64)).collect()))
+            .collect(),
+    );
+    let req = Value::Object(vec![
+        ("id".to_string(), Value::String(format!("serve-eq-{family}-{}", s.name))),
+        ("op".to_string(), Value::String("fit".to_string())),
+        ("model".to_string(), Value::String(format!("serve-eq-{family}"))),
+        ("family".to_string(), Value::String(family.to_string())),
+        ("k".to_string(), Value::Int(s.k as i64)),
+        ("seed".to_string(), Value::Int(seed as i64)),
+        ("data".to_string(), rows),
+        ("given".to_string(), given),
+        ("views".to_string(), views),
+    ]);
+    serde_json::to_string(&req).expect("fit request serializes")
+}
+
+/// Extracts the solution labellings from a `fit` response line.
+fn parse_served_solutions(line: &str) -> Result<Vec<Clustering>, String> {
+    let v = serde_json::parse_value(line)
+        .map_err(|e| format!("serve response does not parse: {e}"))?;
+    let Value::Object(obj) = v else {
+        return Err("serve response is not a JSON object".to_string());
+    };
+    let get = |k: &str| obj.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+    if !matches!(get("ok"), Some(Value::Bool(true))) {
+        return Err(format!("server rejected the fit: {line}"));
+    }
+    let Some(Value::Array(solutions)) = get("solutions") else {
+        return Err("serve response carries no solutions array".to_string());
+    };
+    solutions
+        .iter()
+        .map(|sol| {
+            let Value::Array(labels) = sol else {
+                return Err("served solution is not a label array".to_string());
+            };
+            let opts = labels
+                .iter()
+                .map(|l| match l {
+                    Value::Int(v) if *v >= 0 => Ok(Some(*v as usize)),
+                    Value::Int(_) => Ok(None),
+                    other => Err(format!("served label is not an integer: {other:?}")),
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            Ok(Clustering::from_options(opts))
+        })
+        .collect()
 }
 
 #[cfg(test)]

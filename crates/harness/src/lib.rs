@@ -31,6 +31,7 @@ pub mod golden;
 pub mod invariants;
 pub mod report;
 pub mod scenario;
+pub mod service;
 
 pub use families::{all_families, AlgorithmFamily, FitInput, Guarantees};
 pub use fault::Fault;
@@ -38,3 +39,4 @@ pub use golden::{GoldenOutcome, GoldenRecord};
 pub use invariants::{registry, CheckContext, Invariant};
 pub use report::{verify, CheckOutcome, VerifyOptions, VerifyReport};
 pub use scenario::{catalog, Scenario};
+pub use service::fit_dispatch;

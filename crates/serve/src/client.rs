@@ -1,0 +1,68 @@
+//! One-shot protocol client: connect, send request lines in lock-step,
+//! collect one response line per request.
+//!
+//! Lock-step (write one line, read one line) keeps the client deadlock-
+//! free without buffer-size assumptions and preserves the request →
+//! response pairing the concurrency-determinism tests key on.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+
+use crate::Listen;
+
+/// An open protocol connection.
+pub struct Connection {
+    reader: BufReader<Box<dyn Read + Send>>,
+    writer: Box<dyn Write + Send>,
+}
+
+impl Connection {
+    /// Connects to a server address.
+    pub fn open(listen: &Listen) -> std::io::Result<Connection> {
+        let (reader, writer): (Box<dyn Read + Send>, Box<dyn Write + Send>) = match listen {
+            Listen::Tcp(addr) => {
+                let s = TcpStream::connect(addr.as_str())?;
+                s.set_nodelay(true).ok();
+                (Box::new(s.try_clone()?), Box::new(s))
+            }
+            Listen::Unix(path) => {
+                let s = UnixStream::connect(path)?;
+                (Box::new(s.try_clone()?), Box::new(s))
+            }
+        };
+        Ok(Connection { reader: BufReader::new(reader), writer })
+    }
+
+    /// Sends one request line and reads the one response line.
+    pub fn roundtrip(&mut self, request: &str) -> std::io::Result<String> {
+        self.writer.write_all(request.trim_end().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let read = self.reader.read_line(&mut line)?;
+        if read == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            ));
+        }
+        Ok(line.trim_end().to_string())
+    }
+}
+
+/// Connects, plays `requests` in lock-step, and returns the responses in
+/// request order.
+pub fn session(listen: &Listen, requests: &[String]) -> std::io::Result<Vec<String>> {
+    let mut conn = Connection::open(listen)?;
+    let mut responses = Vec::with_capacity(requests.len());
+    for req in requests {
+        responses.push(conn.roundtrip(req)?);
+    }
+    Ok(responses)
+}
+
+/// One request over a fresh connection.
+pub fn roundtrip(listen: &Listen, request: &str) -> std::io::Result<String> {
+    Connection::open(listen)?.roundtrip(request)
+}

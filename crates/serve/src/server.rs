@@ -1,0 +1,644 @@
+//! The accept/dispatch loop: binds a [`Listen`] address, serves the
+//! `multiclust-serve/v1` protocol, and keeps every fitted model in a
+//! bounded LRU [`ModelRegistry`].
+//!
+//! Each connection gets a handler thread with a short read timeout, so a
+//! `shutdown` request drains cleanly even while other clients hold their
+//! connections open: handlers observe the stop flag on the next timeout
+//! and exit, and [`Server::run`] joins them all before returning — no
+//! leaked threads. Every request executes under a `serve.<op>` telemetry
+//! span, feeding the `multiclust-trace/v1` sink and the `--metrics`
+//! stream exactly like a CLI run; independently of the telemetry switch
+//! the server keeps its own per-op counters and latency quantile
+//! sketches for the `stats` op.
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use multiclust_core::measures::diss::{
+    adjusted_rand_index, jaccard_index, normalized_mutual_information, rand_index,
+    variation_of_information,
+};
+use multiclust_core::Clustering;
+use multiclust_data::io::read_csv;
+use multiclust_data::Dataset;
+use multiclust_telemetry::Sketch;
+use serde::Value;
+
+use crate::protocol::{
+    self, BoundedLine, DataSource, ProtocolError, Request, SCHEMA,
+};
+use crate::registry::{FittedModel, ModelRegistry};
+use crate::{FitDispatch, FitSpec, Listen};
+
+/// Server construction parameters.
+pub struct ServerConfig {
+    /// Model-registry capacity (LRU bound, min 1).
+    pub capacity: usize,
+    /// Executes `fit` requests (supplied by the harness layer).
+    pub dispatch: FitDispatch,
+}
+
+/// What a completed [`Server::run`] reports.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerSummary {
+    /// Total requests answered (including error responses).
+    pub requests: u64,
+    /// How many of them were error responses.
+    pub errors: u64,
+}
+
+#[derive(Default)]
+struct Stats {
+    requests: std::collections::BTreeMap<String, u64>,
+    errors: u64,
+    latency_us: std::collections::BTreeMap<String, Sketch>,
+}
+
+struct Shared {
+    dispatch: FitDispatch,
+    registry: Mutex<ModelRegistry>,
+    stats: Mutex<Stats>,
+    stop: AtomicBool,
+    start: Instant,
+    max_line: usize,
+}
+
+enum ListenerKind {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+/// A bound, not-yet-running protocol server.
+pub struct Server {
+    listener: ListenerKind,
+    shared: Arc<Shared>,
+    unix_path: Option<PathBuf>,
+    addr: String,
+}
+
+impl Server {
+    /// Binds the address and prepares the shared state. The request-line
+    /// cap is read from `MULTICLUST_SERVE_MAX_LINE` at bind time.
+    pub fn bind(listen: &Listen, config: ServerConfig) -> std::io::Result<Server> {
+        let (listener, unix_path, addr) = match listen {
+            Listen::Tcp(a) => {
+                let l = TcpListener::bind(a.as_str())?;
+                let bound = l.local_addr()?;
+                (ListenerKind::Tcp(l), None, format!("tcp:{bound}"))
+            }
+            Listen::Unix(p) => {
+                // A stale socket file from a dead server blocks the bind;
+                // remove it (a live server would still hold the listener).
+                let _ = std::fs::remove_file(p);
+                let l = UnixListener::bind(p)?;
+                (ListenerKind::Unix(l), Some(p.clone()), format!("unix:{}", p.display()))
+            }
+        };
+        let shared = Arc::new(Shared {
+            dispatch: config.dispatch,
+            registry: Mutex::new(ModelRegistry::new(config.capacity)),
+            stats: Mutex::new(Stats::default()),
+            stop: AtomicBool::new(false),
+            start: Instant::now(),
+            max_line: protocol::max_line_bytes(),
+        });
+        Ok(Server { listener, shared, unix_path, addr })
+    }
+
+    /// The bound address in `tcp:host:port` / `unix:path` form — feed it
+    /// back to [`Listen::parse`] to connect (port 0 resolves here).
+    pub fn local_addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Serves until a `shutdown` request, then joins every handler
+    /// thread and removes a Unix socket file if one was bound.
+    pub fn run(self) -> std::io::Result<ServerSummary> {
+        match &self.listener {
+            ListenerKind::Tcp(l) => l.set_nonblocking(true)?,
+            ListenerKind::Unix(l) => l.set_nonblocking(true)?,
+        }
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.shared.stop.load(Ordering::SeqCst) {
+            let conn = match &self.listener {
+                ListenerKind::Tcp(l) => match l.accept() {
+                    Ok((s, _)) => {
+                        s.set_nodelay(true).ok();
+                        s.set_read_timeout(Some(Duration::from_millis(50)))?;
+                        let reader = s.try_clone()?;
+                        Some((boxed_read(reader), boxed_write(s)))
+                    }
+                    Err(e) if would_block(&e) => None,
+                    Err(e) => return Err(e),
+                },
+                ListenerKind::Unix(l) => match l.accept() {
+                    Ok((s, _)) => {
+                        s.set_read_timeout(Some(Duration::from_millis(50)))?;
+                        let reader = s.try_clone()?;
+                        Some((boxed_read(reader), boxed_write(s)))
+                    }
+                    Err(e) if would_block(&e) => None,
+                    Err(e) => return Err(e),
+                },
+            };
+            match conn {
+                Some((reader, writer)) => {
+                    let shared = Arc::clone(&self.shared);
+                    handlers.push(
+                        std::thread::Builder::new()
+                            .name("serve-conn".to_string())
+                            .spawn(move || handle_connection(&shared, reader, writer))
+                            .expect("spawn connection handler"),
+                    );
+                    handlers.retain(|h| !h.is_finished());
+                }
+                None => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        if let Some(p) = &self.unix_path {
+            let _ = std::fs::remove_file(p);
+        }
+        let stats = self.shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+        Ok(ServerSummary {
+            requests: stats.requests.values().sum(),
+            errors: stats.errors,
+        })
+    }
+}
+
+fn boxed_read(r: impl Read + Send + 'static) -> Box<dyn Read + Send> {
+    Box::new(r)
+}
+
+fn boxed_write(w: impl Write + Send + 'static) -> Box<dyn Write + Send> {
+    Box::new(w)
+}
+
+fn would_block(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+fn handle_connection(
+    shared: &Shared,
+    reader: Box<dyn Read + Send>,
+    mut writer: Box<dyn Write + Send>,
+) {
+    let mut reader = BufReader::new(reader);
+    let stop = || shared.stop.load(Ordering::SeqCst);
+    loop {
+        let line = match protocol::read_line_bounded(&mut reader, shared.max_line, &stop) {
+            Ok(BoundedLine::Line(bytes)) => bytes,
+            Ok(BoundedLine::TooLong) => {
+                let e = ProtocolError {
+                    code: "line-too-long",
+                    message: format!(
+                        "request line exceeds {} bytes (MULTICLUST_SERVE_MAX_LINE)",
+                        shared.max_line
+                    ),
+                };
+                record(shared, "invalid", 0, true);
+                if write_response(&mut writer, &error_response(&Value::Null, &e)).is_err() {
+                    return;
+                }
+                continue;
+            }
+            Ok(BoundedLine::Eof) | Ok(BoundedLine::Stopped) | Err(_) => return,
+        };
+        if line.iter().all(u8::is_ascii_whitespace) {
+            continue;
+        }
+        let started = Instant::now();
+        let (id, parsed) = match String::from_utf8(line) {
+            Ok(text) => protocol::parse_request(&text),
+            Err(_) => (
+                Value::Null,
+                Err(ProtocolError {
+                    code: "bad-json",
+                    message: "request line is not UTF-8".to_string(),
+                }),
+            ),
+        };
+        let op = parsed.as_ref().map_or("invalid", Request::op);
+        let shutdown = matches!(parsed, Ok(Request::Shutdown));
+        // The span covers parse-to-response execution; it lands in the
+        // trace sink and the duration sketches exactly like a CLI phase.
+        let response = {
+            let _span = multiclust_telemetry::span(&format!("serve.{op}"));
+            match parsed {
+                Ok(req) => execute(shared, &id, req),
+                Err(e) => error_response(&id, &e),
+            }
+        };
+        let failed = !matches!(
+            protocol::field(as_object(&response), "ok"),
+            Some(Value::Bool(true))
+        );
+        record(shared, op, started.elapsed().as_micros() as u64, failed);
+        if write_response(&mut writer, &response).is_err() {
+            return;
+        }
+        if shutdown {
+            shared.stop.store(true, Ordering::SeqCst);
+            return;
+        }
+    }
+}
+
+fn as_object(v: &Value) -> &[(String, Value)] {
+    match v {
+        Value::Object(fields) => fields,
+        _ => &[],
+    }
+}
+
+fn record(shared: &Shared, op: &str, micros: u64, failed: bool) {
+    let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+    *stats.requests.entry(op.to_string()).or_insert(0) += 1;
+    stats.latency_us.entry(op.to_string()).or_default().record(micros);
+    if failed {
+        stats.errors += 1;
+    }
+}
+
+fn write_response(writer: &mut dyn Write, response: &Value) -> std::io::Result<()> {
+    let text = serde_json::to_string(response)
+        .unwrap_or_else(|_| format!("{{\"schema\":\"{SCHEMA}\",\"ok\":false}}"));
+    writer.write_all(text.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+// ---------------------------------------------------------------------
+// Response builders
+// ---------------------------------------------------------------------
+
+fn ok_head(id: &Value, op: &str) -> Vec<(String, Value)> {
+    vec![
+        ("schema".to_string(), Value::String(SCHEMA.to_string())),
+        ("id".to_string(), id.clone()),
+        ("ok".to_string(), Value::Bool(true)),
+        ("op".to_string(), Value::String(op.to_string())),
+    ]
+}
+
+fn error_response(id: &Value, e: &ProtocolError) -> Value {
+    Value::Object(vec![
+        ("schema".to_string(), Value::String(SCHEMA.to_string())),
+        ("id".to_string(), id.clone()),
+        ("ok".to_string(), Value::Bool(false)),
+        (
+            "error".to_string(),
+            Value::Object(vec![
+                ("code".to_string(), Value::String(e.code.to_string())),
+                ("message".to_string(), Value::String(e.message.clone())),
+            ]),
+        ),
+    ])
+}
+
+fn labels_value(assignments: &[Option<usize>]) -> Value {
+    Value::Array(
+        assignments
+            .iter()
+            .map(|a| Value::Int(a.map_or(-1, |l| l as i64)))
+            .collect(),
+    )
+}
+
+fn solutions_value(solutions: &[Clustering]) -> Value {
+    Value::Array(
+        solutions
+            .iter()
+            .map(|c| labels_value(c.assignments()))
+            .collect(),
+    )
+}
+
+fn strings_value(names: &[String]) -> Value {
+    Value::Array(names.iter().map(|n| Value::String(n.clone())).collect())
+}
+
+// ---------------------------------------------------------------------
+// Op execution
+// ---------------------------------------------------------------------
+
+fn execute(shared: &Shared, id: &Value, req: Request) -> Value {
+    let result = match req {
+        Request::Fit { model, family, source, k, seed, given, views } => {
+            op_fit(shared, id, model, family, &source, k, seed, given, views)
+        }
+        Request::Assign { model, source } => op_assign(shared, id, &model, &source),
+        Request::Compare { a, b, sa, sb } => op_compare(shared, id, &a, &b, sa, sb),
+        Request::List => Ok(op_list(shared, id)),
+        Request::Evict { model } => op_evict(shared, id, &model),
+        Request::Stats => Ok(op_stats(shared, id)),
+        Request::Shutdown => Ok(Value::Object(ok_head(id, "shutdown"))),
+    };
+    result.unwrap_or_else(|e| error_response(id, &e))
+}
+
+fn load_source(source: &DataSource) -> Result<Dataset, ProtocolError> {
+    match source {
+        DataSource::Inline(rows) => Ok(Dataset::from_rows(rows)),
+        DataSource::Path { path, header } => read_csv(Path::new(path), *header)
+            .map_err(|e| ProtocolError {
+                code: "io",
+                message: format!("reading {path}: {e}"),
+            }),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn op_fit(
+    shared: &Shared,
+    id: &Value,
+    model: Option<String>,
+    family: String,
+    source: &DataSource,
+    k: usize,
+    seed: u64,
+    given: Option<Vec<Option<usize>>>,
+    views: Option<Vec<Vec<usize>>>,
+) -> Result<Value, ProtocolError> {
+    let data = load_source(source)?;
+    let (n, d) = (data.len(), data.dims());
+    if n == 0 || d == 0 {
+        return Err(ProtocolError::bad_request("dataset is empty"));
+    }
+    if k == 0 || k > n {
+        return Err(ProtocolError::bad_request(format!(
+            "k = {k} out of range for {n} objects"
+        )));
+    }
+    let given = match given {
+        Some(labels) if labels.len() != n => {
+            return Err(ProtocolError::bad_request(format!(
+                "\"given\" has {} labels, dataset has {n} objects",
+                labels.len()
+            )));
+        }
+        Some(labels) => Clustering::from_options(labels),
+        // Default reference: one all-encompassing cluster, the neutral
+        // "no prior structure" input for the alternative paradigms.
+        None => Clustering::from_labels(&vec![0usize; n]),
+    };
+    let view_groups = match views {
+        Some(groups) => {
+            for (g, group) in groups.iter().enumerate() {
+                if let Some(&bad) = group.iter().find(|&&dim| dim >= d) {
+                    return Err(ProtocolError::bad_request(format!(
+                        "\"views\" group {g} names dimension {bad}, dataset has {d}"
+                    )));
+                }
+            }
+            groups
+        }
+        None => vec![(0..d).collect()],
+    };
+    let spec = FitSpec { family, data, given, view_groups, k, seed };
+    // A panicking family (adversarial input the adapter did not gate)
+    // must cost one error response, not the process: same contract as
+    // every other malformed request.
+    let fitted = match catch_unwind(AssertUnwindSafe(|| (shared.dispatch)(&spec))) {
+        Ok(result) => result.map_err(ProtocolError::bad_request)?,
+        Err(_) => {
+            return Err(ProtocolError {
+                code: "internal",
+                message: format!("fit of family {:?} panicked", spec.family),
+            });
+        }
+    };
+    let mut registry = shared.registry.lock().unwrap_or_else(|e| e.into_inner());
+    let name = model.unwrap_or_else(|| registry.auto_name());
+    let fitted_model = FittedModel::new(
+        name.clone(),
+        spec.family.clone(),
+        k,
+        seed,
+        &spec.data,
+        fitted,
+    );
+    let solutions = solutions_value(&fitted_model.solutions);
+    let evicted = registry.insert(fitted_model);
+    let mut fields = ok_head(id, "fit");
+    fields.push(("model".to_string(), Value::String(name)));
+    fields.push(("family".to_string(), Value::String(spec.family)));
+    fields.push(("n".to_string(), Value::Int(n as i64)));
+    fields.push(("d".to_string(), Value::Int(d as i64)));
+    fields.push(("k".to_string(), Value::Int(k as i64)));
+    fields.push(("seed".to_string(), Value::Int(seed as i64)));
+    fields.push(("solutions".to_string(), solutions));
+    fields.push(("evicted".to_string(), strings_value(&evicted)));
+    Ok(Value::Object(fields))
+}
+
+fn unknown_model(name: &str) -> ProtocolError {
+    ProtocolError {
+        code: "unknown-model",
+        message: format!("no model {name:?} registered (fit one first, or list what is live)"),
+    }
+}
+
+fn op_assign(
+    shared: &Shared,
+    id: &Value,
+    model: &str,
+    source: &DataSource,
+) -> Result<Value, ProtocolError> {
+    let data = load_source(source)?;
+    let mut registry = shared.registry.lock().unwrap_or_else(|e| e.into_inner());
+    let m = registry.touch(model).ok_or_else(|| unknown_model(model))?;
+    if data.dims() != m.d {
+        return Err(ProtocolError::bad_request(format!(
+            "dataset has {} dims, model {model:?} was fitted on {}",
+            data.dims(),
+            m.d
+        )));
+    }
+    let assigned = m.assign(&data);
+    let mut fields = ok_head(id, "assign");
+    fields.push(("model".to_string(), Value::String(model.to_string())));
+    fields.push(("n".to_string(), Value::Int(data.len() as i64)));
+    fields.push((
+        "solutions".to_string(),
+        Value::Array(assigned.iter().map(|s| labels_value(s)).collect()),
+    ));
+    Ok(Value::Object(fields))
+}
+
+fn op_compare(
+    shared: &Shared,
+    id: &Value,
+    a: &str,
+    b: &str,
+    sa: usize,
+    sb: usize,
+) -> Result<Value, ProtocolError> {
+    let mut registry = shared.registry.lock().unwrap_or_else(|e| e.into_inner());
+    let (ca, na) = {
+        let m = registry.touch(a).ok_or_else(|| unknown_model(a))?;
+        let c = m.solutions.get(sa).ok_or_else(|| {
+            ProtocolError::bad_request(format!(
+                "model {a:?} has {} solutions, no index {sa}",
+                m.solutions.len()
+            ))
+        })?;
+        (c.clone(), m.n)
+    };
+    let (cb, nb) = {
+        let m = registry.touch(b).ok_or_else(|| unknown_model(b))?;
+        let c = m.solutions.get(sb).ok_or_else(|| {
+            ProtocolError::bad_request(format!(
+                "model {b:?} has {} solutions, no index {sb}",
+                m.solutions.len()
+            ))
+        })?;
+        (c.clone(), m.n)
+    };
+    if na != nb {
+        return Err(ProtocolError::bad_request(format!(
+            "models cover different object counts: {a:?} has {na}, {b:?} has {nb}"
+        )));
+    }
+    let mut fields = ok_head(id, "compare");
+    fields.push(("a".to_string(), Value::String(a.to_string())));
+    fields.push(("b".to_string(), Value::String(b.to_string())));
+    fields.push(("sa".to_string(), Value::Int(sa as i64)));
+    fields.push(("sb".to_string(), Value::Int(sb as i64)));
+    fields.push((
+        "measures".to_string(),
+        Value::Object(vec![
+            ("rand_index".to_string(), Value::Float(rand_index(&ca, &cb))),
+            (
+                "adjusted_rand_index".to_string(),
+                Value::Float(adjusted_rand_index(&ca, &cb)),
+            ),
+            ("jaccard_index".to_string(), Value::Float(jaccard_index(&ca, &cb))),
+            (
+                "normalized_mutual_information".to_string(),
+                Value::Float(normalized_mutual_information(&ca, &cb)),
+            ),
+            (
+                "variation_of_information".to_string(),
+                Value::Float(variation_of_information(&ca, &cb)),
+            ),
+        ]),
+    ));
+    Ok(Value::Object(fields))
+}
+
+fn op_list(shared: &Shared, id: &Value) -> Value {
+    let registry = shared.registry.lock().unwrap_or_else(|e| e.into_inner());
+    let mut fields = ok_head(id, "list");
+    fields.push(("capacity".to_string(), Value::Int(registry.capacity() as i64)));
+    fields.push((
+        "models".to_string(),
+        Value::Array(
+            registry
+                .list()
+                .iter()
+                .map(|m| {
+                    Value::Object(vec![
+                        ("model".to_string(), Value::String(m.name.clone())),
+                        ("family".to_string(), Value::String(m.family.clone())),
+                        ("n".to_string(), Value::Int(m.n as i64)),
+                        ("d".to_string(), Value::Int(m.d as i64)),
+                        ("k".to_string(), Value::Int(m.k as i64)),
+                        ("seed".to_string(), Value::Int(m.seed as i64)),
+                        (
+                            "solutions".to_string(),
+                            Value::Int(m.solutions.len() as i64),
+                        ),
+                    ])
+                })
+                .collect(),
+        ),
+    ));
+    Value::Object(fields)
+}
+
+fn op_evict(shared: &Shared, id: &Value, model: &str) -> Result<Value, ProtocolError> {
+    let mut registry = shared.registry.lock().unwrap_or_else(|e| e.into_inner());
+    if !registry.remove(model) {
+        return Err(unknown_model(model));
+    }
+    let mut fields = ok_head(id, "evict");
+    fields.push(("model".to_string(), Value::String(model.to_string())));
+    Ok(Value::Object(fields))
+}
+
+fn sketch_value(s: &Sketch) -> Value {
+    Value::Object(vec![
+        ("count".to_string(), Value::Int(s.count as i64)),
+        ("p50".to_string(), Value::Int(s.p50() as i64)),
+        ("p90".to_string(), Value::Int(s.p90() as i64)),
+        ("p99".to_string(), Value::Int(s.p99() as i64)),
+        ("max".to_string(), Value::Int(s.max as i64)),
+    ])
+}
+
+fn op_stats(shared: &Shared, id: &Value) -> Value {
+    use multiclust_telemetry::alloc;
+    let stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+    let registry = shared.registry.lock().unwrap_or_else(|e| e.into_inner());
+    let mut fields = ok_head(id, "stats");
+    fields.push((
+        "uptime_ms".to_string(),
+        Value::Int(shared.start.elapsed().as_millis() as i64),
+    ));
+    fields.push((
+        "requests".to_string(),
+        Value::Object(
+            stats
+                .requests
+                .iter()
+                .map(|(op, &n)| (op.clone(), Value::Int(n as i64)))
+                .collect(),
+        ),
+    ));
+    fields.push(("errors".to_string(), Value::Int(stats.errors as i64)));
+    fields.push((
+        "latency_us".to_string(),
+        Value::Object(
+            stats
+                .latency_us
+                .iter()
+                .map(|(op, s)| (op.clone(), sketch_value(s)))
+                .collect(),
+        ),
+    ));
+    fields.push(("models".to_string(), Value::Int(registry.len() as i64)));
+    fields.push(("capacity".to_string(), Value::Int(registry.capacity() as i64)));
+    fields.push(("evictions".to_string(), Value::Int(registry.evictions() as i64)));
+    fields.push((
+        "events_dropped".to_string(),
+        Value::Int(multiclust_telemetry::snapshot().dropped_events as i64),
+    ));
+    fields.push((
+        "alloc".to_string(),
+        if alloc::alloc_enabled() {
+            let t = alloc::alloc_totals();
+            Value::Object(vec![
+                ("count".to_string(), Value::Int(t.count as i64)),
+                ("bytes".to_string(), Value::Int(t.bytes as i64)),
+                ("peak".to_string(), Value::Int(t.peak as i64)),
+            ])
+        } else {
+            Value::Null
+        },
+    ));
+    Value::Object(fields)
+}

@@ -130,4 +130,53 @@ fi
 # Baseline trend over the checked-in BENCH_*.json reports.
 ./target/release/multiclust trend | grep -q 'kmeans-n1000'
 
+# Resident service smoke: boot `serve` on a temp Unix socket, play a
+# scripted fit/assign/compare/evict/list session through `client`, and
+# diff the transcript against the checked-in golden — responses are a
+# pure function of the requests, so the bytes must match at any thread
+# count. `stats` is wall-clock-dependent and asserted by grep instead;
+# the trace must carry one span per request; a shutdown request must
+# leave the server exiting 0 with the socket file removed.
+cat > "$tmp/serve-session.txt" <<'EOF'
+# fit two models, predict with one, compare them, evict, list the rest
+{"id":"1","op":"fit","model":"a","family":"kmeans","k":2,"seed":7,"data":[[0,0],[0.2,0.1],[0.1,0.3],[9,9],[9.2,9.1],[9.1,9.3]]}
+{"id":"2","op":"fit","model":"b","family":"dec-kmeans","k":2,"seed":7,"data":[[0,0],[0.2,0.1],[0.1,0.3],[9,9],[9.2,9.1],[9.1,9.3]]}
+{"id":"3","op":"assign","model":"a","data":[[0.1,0.1],[9.1,9.1]]}
+{"id":"4","op":"compare","a":"a","b":"b","sa":0,"sb":0}
+{"id":"5","op":"evict","model":"b"}
+{"id":"6","op":"list"}
+EOF
+for threads in 1 4; do
+    sock="$tmp/serve-$threads.sock"
+    MULTICLUST_THREADS=$threads ./target/release/multiclust serve \
+        --listen "unix:$sock" --trace "$tmp/serve-$threads.trace.jsonl" \
+        > "$tmp/serve-$threads.ready" 2> "$tmp/serve-$threads.err" &
+    serve_pid=$!
+    for _ in $(seq 1 200); do
+        [ -S "$sock" ] && break
+        sleep 0.05
+    done
+    ./target/release/multiclust client --connect "unix:$sock" \
+        --script "$tmp/serve-session.txt" > "$tmp/serve-$threads.out"
+    ./target/release/multiclust client --connect "unix:$sock" \
+        --request '{"id":"st","op":"stats"}' > "$tmp/serve-$threads.stats"
+    ./target/release/multiclust client --connect "unix:$sock" \
+        --request '{"id":"bye","op":"shutdown"}' > /dev/null
+    wait "$serve_pid"
+    if [ -S "$sock" ]; then
+        echo "check.sh: serve left its socket file behind" >&2
+        exit 1
+    fi
+    grep -q '"type":"ready","schema":"multiclust-serve/v1"' \
+        "$tmp/serve-$threads.ready"
+    grep -q 'shut down cleanly' "$tmp/serve-$threads.err"
+    grep -q '"uptime_ms"' "$tmp/serve-$threads.stats"
+    grep -q '"fit":2' "$tmp/serve-$threads.stats"
+    grep -q '"path":"serve.fit"' "$tmp/serve-$threads.trace.jsonl"
+    grep -q '"path":"serve.compare"' "$tmp/serve-$threads.trace.jsonl"
+    grep -q '"type":"end"' "$tmp/serve-$threads.trace.jsonl"
+done
+cmp "$tmp/serve-1.out" "$tmp/serve-4.out"
+cmp "$tmp/serve-1.out" tests/golden/serve_session.golden
+
 echo "check.sh: all gates passed"

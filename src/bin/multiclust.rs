@@ -59,6 +59,11 @@ commands:
   trace        <trace.jsonl> | --collapse <trace.jsonl>
   diagnose     <trace.jsonl> [--json]
   trend        [--dir <dir>]
+  serve        [--listen tcp:<host:port>|unix:<path>] [--capacity <n>]
+               (default 127.0.0.1:0; env MULTICLUST_LISTEN)
+  client       [--connect <addr>] [--request <json> | --script <file>]
+               (reads request lines from stdin when neither flag is given;
+                env MULTICLUST_LISTEN when --connect is omitted)
 
 common flags: --header            first CSV line is a header row
               --seed <n>          RNG seed (default 42)
@@ -91,7 +96,11 @@ output: CSV on stdout — one column per solution, label per object,
         `trace` prints a per-phase time attribution (or
         collapsed flamegraph stacks with --collapse); `diagnose` prints
         convergence findings and exits non-zero on a violated objective
-        contract; `trend` tabulates all BENCH_*.json trajectories.
+        contract; `trend` tabulates all BENCH_*.json trajectories;
+        `serve` prints one `{\"type\":\"ready\",...}` line with the bound
+        address, then answers multiclust-serve/v1 request lines (fit/
+        assign/compare/list/evict/stats) until a shutdown request;
+        `client` prints one response line per request.
 ";
 
 fn main() -> ExitCode {
@@ -285,6 +294,8 @@ fn run(args: Vec<String>) -> Result<Outcome, CliError> {
         "trace" => cmd_trace(&flags).map(Outcome::ok),
         "diagnose" => cmd_diagnose(&flags),
         "trend" => cmd_trend(&flags).map(Outcome::ok).map_err(CliError::from),
+        "serve" => cmd_serve(&flags),
+        "client" => cmd_client(&flags),
         "help" | "--help" | "-h" => Ok(Outcome::ok(USAGE.to_string())),
         other => Err(format!("unknown command {other:?}").into()),
     }?;
@@ -676,6 +687,91 @@ fn cmd_trend(flags: &Flags) -> Result<String, String> {
         reports.push((label, report));
     }
     Ok(multiclust::bench::compare::trend(&reports))
+}
+
+fn cmd_serve(flags: &Flags) -> Result<Outcome, CliError> {
+    use multiclust::serve::{Listen, Server, ServerConfig};
+    let addr = match flags.get("listen") {
+        Some(a) => a.clone(),
+        None => std::env::var("MULTICLUST_LISTEN")
+            .unwrap_or_else(|_| "127.0.0.1:0".to_string()),
+    };
+    let listen = Listen::parse(&addr).map_err(CliError::from)?;
+    let capacity: usize = flags.parsed_or("capacity", 64)?;
+    if capacity == 0 {
+        return Err(CliError::from("--capacity must be at least 1".to_string()));
+    }
+    let config = ServerConfig { capacity, dispatch: multiclust::harness::fit_dispatch() };
+    let server = Server::bind(&listen, config)
+        .map_err(|e| CliError::plain(format!("cannot listen on {}: {e}", listen.display())))?;
+    // The ready line must reach the caller before the accept loop blocks:
+    // with `--listen 127.0.0.1:0` it is the only way to learn the port.
+    println!(
+        "{{\"type\":\"ready\",\"schema\":\"{}\",\"addr\":\"{}\"}}",
+        multiclust::serve::SCHEMA,
+        server.local_addr()
+    );
+    use std::io::Write as _;
+    std::io::stdout()
+        .flush()
+        .map_err(|e| CliError::plain(format!("stdout: {e}")))?;
+    let summary = server
+        .run()
+        .map_err(|e| CliError::plain(format!("serve: {e}")))?;
+    // Summary on stderr: stdout stays a pure protocol stream.
+    eprintln!(
+        "serve: shut down cleanly after {} requests ({} errors)",
+        summary.requests, summary.errors
+    );
+    Ok(Outcome::ok(String::new()))
+}
+
+fn cmd_client(flags: &Flags) -> Result<Outcome, CliError> {
+    use multiclust::serve::{client, Listen};
+    let addr = match flags.get("connect") {
+        Some(a) => a.clone(),
+        None => std::env::var("MULTICLUST_LISTEN").map_err(|_| {
+            "client needs --connect <addr> (or MULTICLUST_LISTEN)".to_string()
+        })?,
+    };
+    let listen = Listen::parse(&addr).map_err(CliError::from)?;
+    let requests: Vec<String> = if let Some(request) = flags.get("request") {
+        vec![request.clone()]
+    } else {
+        let text = match flags.get("script") {
+            Some(path) => std::fs::read_to_string(path)
+                .map_err(|e| CliError::plain(format!("reading {path}: {e}")))?,
+            None => {
+                let mut buf = String::new();
+                use std::io::Read as _;
+                std::io::stdin()
+                    .read_to_string(&mut buf)
+                    .map_err(|e| CliError::plain(format!("stdin: {e}")))?;
+                buf
+            }
+        };
+        // Blank lines and `#` comments let scripts document themselves.
+        text.lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(String::from)
+            .collect()
+    };
+    if requests.is_empty() {
+        return Err(CliError::plain(
+            "client: no requests (use --request, --script or stdin)".to_string(),
+        ));
+    }
+    // Transport failures are runtime errors; protocol-level errors come
+    // back as response lines (`"ok":false`) and are the caller's to read.
+    let responses = client::session(&listen, &requests)
+        .map_err(|e| CliError::plain(format!("client: {} — {e}", listen.display())))?;
+    let mut out = String::new();
+    for response in &responses {
+        out.push_str(response);
+        out.push('\n');
+    }
+    Ok(Outcome::ok(out))
 }
 
 fn cmd_compare(flags: &Flags) -> Result<String, String> {

@@ -57,6 +57,7 @@ pub use multiclust_linalg as linalg;
 pub use multiclust_multiview as multiview;
 pub use multiclust_orthogonal as orthogonal;
 pub use multiclust_parallel as parallel;
+pub use multiclust_serve as serve;
 pub use multiclust_subspace as subspace;
 pub use multiclust_telemetry as telemetry;
 

@@ -773,6 +773,93 @@ fn verify_alloc_fault_fails_with_named_invariant() {
     assert!(stdout.contains("allocation accounting moved labels"), "{stdout}");
 }
 
+/// The 8th injectable fault: a serving layer that perturbs the RNG must
+/// be caught by `serve-equivalence`.
+#[test]
+fn verify_serve_fault_fails_with_named_invariant() {
+    let out = bin()
+        .args([
+            "verify",
+            "--family",
+            "kmeans",
+            "--inject",
+            "serve-perturbs-rng",
+            "--golden-dir",
+            "none",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "fault must fail the run");
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stdout.contains("violation: serve-equivalence"), "{stdout}");
+    assert!(stdout.contains("served fit diverged"), "{stdout}");
+}
+
+/// PR-8 acceptance: a malformed request sent through `multiclust client`
+/// comes back as a structured protocol error line on stdout — no usage
+/// dump, no process exit — and the server keeps answering afterwards.
+#[test]
+fn client_transports_structured_protocol_errors() {
+    use std::io::BufRead;
+    let mut serve = bin()
+        .args(["serve", "--listen", "127.0.0.1:0"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    let mut ready = String::new();
+    std::io::BufReader::new(serve.stdout.take().unwrap())
+        .read_line(&mut ready)
+        .expect("ready line");
+    let addr = ready
+        .split(r#""addr":""#)
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .unwrap_or_else(|| panic!("ready line carries the address: {ready}"))
+        .to_string();
+
+    // A ragged dataset is a *protocol* error: the client exits 0 (the
+    // transport worked) and prints the server's structured error line.
+    let out = bin()
+        .args(["client", "--connect", &addr, "--request"])
+        .arg(r#"{"id":"r","op":"fit","family":"kmeans","k":2,"data":[[1,2],[3]]}"#)
+        .output()
+        .expect("client runs");
+    assert!(out.status.success(), "transported errors exit 0");
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stdout.contains(r#""ok":false"#), "{stdout}");
+    assert!(stdout.contains(r#""code":"bad-request""#), "{stdout}");
+    assert!(stdout.contains("ragged"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(!stderr.contains("usage:"), "no usage dump: {stderr}");
+
+    // The server survived and still answers.
+    let out = bin()
+        .args(["client", "--connect", &addr, "--request", r#"{"id":"ls","op":"list"}"#])
+        .output()
+        .expect("client runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains(r#""ok":true"#));
+
+    // An unreachable server, by contrast, is a runtime error: clean
+    // one-line message, no usage dump.
+    let dead = bin()
+        .args(["client", "--connect", "127.0.0.1:1", "--request", r#"{"op":"list"}"#])
+        .output()
+        .expect("client runs");
+    assert!(!dead.status.success());
+    let stderr = String::from_utf8_lossy(&dead.stderr).to_string();
+    assert!(stderr.starts_with("error: client:"), "{stderr}");
+    assert!(!stderr.contains("usage:"), "{stderr}");
+
+    let out = bin()
+        .args(["client", "--connect", &addr, "--request", r#"{"id":"x","op":"shutdown"}"#])
+        .output()
+        .expect("client runs");
+    assert!(out.status.success());
+    assert!(serve.wait().expect("serve exits").success());
+}
+
 #[test]
 fn telemetry_text_mode_and_bad_mode() {
     let dir = workdir("telemetry-text");
