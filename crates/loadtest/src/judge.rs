@@ -1,0 +1,307 @@
+//! The judged-expectations layer: turns a run record (or a re-loaded
+//! report) into per-expectation verdicts.
+//!
+//! The judge never looks at the live server — it rules purely on a
+//! [`Measured`] summary, which can come from a run that just finished
+//! *or* be re-extracted from a `multiclust-loadtest-report/v1` file
+//! (`loadtest --judge`). That split is what the doctored-report
+//! self-test leans on: corrupt the summary, re-judge, and the verdict
+//! must flip.
+
+use std::collections::BTreeMap;
+
+use crate::driver::RunRecord;
+use crate::spec::Expectation;
+
+/// Latency percentiles for one op, in microseconds (the report's
+/// `timing.latency_us` rows; mergeable sketches collapse to this at the
+/// report boundary).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Responses recorded.
+    pub count: u64,
+    /// Median latency.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Worst response.
+    pub max: u64,
+}
+
+impl LatencySummary {
+    /// The named quantile (`p50`/`p90`/`p99`), in microseconds.
+    pub fn quantile(&self, name: &str) -> u64 {
+        match name {
+            "p50" => self.p50,
+            "p90" => self.p90,
+            _ => self.p99,
+        }
+    }
+}
+
+/// Everything the judge rules on, decoupled from how the run happened.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Measured {
+    /// Planned operations.
+    pub planned: u64,
+    /// Errors across all codes.
+    pub errors_total: u64,
+    /// Errors per structured code.
+    pub errors_by_code: BTreeMap<String, u64>,
+    /// Per-op latency, `None` when the report was canonicalized (its
+    /// `timing` section is null) — latency expectations then fail with a
+    /// message saying so rather than silently passing.
+    pub latency_us: Option<BTreeMap<String, LatencySummary>>,
+    /// Best (ARI, NMI) per family against any planted truth.
+    pub quality: BTreeMap<String, (f64, f64)>,
+    /// Served fits compared against the in-process reference.
+    pub serve_checked: u64,
+    /// Byte-level divergences from the reference.
+    pub serve_mismatches: u64,
+    /// Telemetry events dropped during the run.
+    pub events_dropped: u64,
+    /// Peak live heap in bytes when alloc accounting was on.
+    pub alloc_peak: Option<u64>,
+}
+
+impl Measured {
+    /// Collapses a live run record into the judge's view.
+    pub fn from_record(record: &RunRecord) -> Measured {
+        let latency = record
+            .latency
+            .iter()
+            .map(|(op, sketch)| {
+                (
+                    op.clone(),
+                    LatencySummary {
+                        count: sketch.count,
+                        p50: sketch.p50(),
+                        p90: sketch.p90(),
+                        p99: sketch.p99(),
+                        max: sketch.max,
+                    },
+                )
+            })
+            .collect();
+        Measured {
+            planned: record.planned,
+            errors_total: record.errors_by_code.values().sum(),
+            errors_by_code: record.errors_by_code.clone(),
+            latency_us: Some(latency),
+            quality: record.quality.clone(),
+            serve_checked: record.serve_checked,
+            serve_mismatches: record.serve_mismatches,
+            events_dropped: record.events_dropped,
+            alloc_peak: record.alloc_peak,
+        }
+    }
+}
+
+/// One expectation's ruling: what was measured, and whether it passed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Judged {
+    /// The expectation as written in the scenario.
+    pub expectation: Expectation,
+    /// Human-readable measured value (wall-clock-dependent for latency,
+    /// deterministic for everything else).
+    pub measured: String,
+    /// Whether the run satisfied the expectation.
+    pub pass: bool,
+}
+
+/// Rules on every expectation in scenario order.
+pub fn judge(expectations: &[Expectation], m: &Measured) -> Vec<Judged> {
+    expectations
+        .iter()
+        .map(|e| {
+            let (measured, pass) = rule(e, m);
+            Judged { expectation: e.clone(), measured, pass }
+        })
+        .collect()
+}
+
+/// `true` iff every expectation passed.
+pub fn verdict(judged: &[Judged]) -> bool {
+    judged.iter().all(|j| j.pass)
+}
+
+fn rule(e: &Expectation, m: &Measured) -> (String, bool) {
+    match e {
+        Expectation::Latency { op, quantile, max_ms } => {
+            let Some(latency) = &m.latency_us else {
+                return (
+                    "report has no timing section (canonical reports cannot be \
+                     judged on latency)"
+                        .to_string(),
+                    false,
+                );
+            };
+            match latency.get(op) {
+                None => (format!("no {op} responses recorded"), false),
+                Some(s) => {
+                    let us = s.quantile(quantile);
+                    (
+                        format!(
+                            "{op} {quantile} = {:.3} ms over {} responses (ceiling {max_ms} ms)",
+                            us as f64 / 1000.0,
+                            s.count
+                        ),
+                        us <= max_ms * 1000,
+                    )
+                }
+            }
+        }
+        Expectation::ErrorRate { max } => {
+            let rate = m.errors_total as f64 / (m.planned.max(1)) as f64;
+            (
+                format!("{} errors / {} planned = {rate:.4} (max {max})", m.errors_total, m.planned),
+                rate <= *max,
+            )
+        }
+        Expectation::ErrorBudget { code, max } => {
+            let n = m.errors_by_code.get(code).copied().unwrap_or(0);
+            (format!("{n} × {code} (budget {max})"), n <= *max)
+        }
+        Expectation::MinErrors { code, min } => {
+            let n = m.errors_by_code.get(code).copied().unwrap_or(0);
+            (format!("{n} × {code} (required ≥ {min})"), n >= *min)
+        }
+        Expectation::QualityFloor { family, measure, floor } => match m.quality.get(family) {
+            None => (format!("family {family:?} served no fits"), false),
+            Some((ari, nmi)) => {
+                let value = if measure == "ari" { *ari } else { *nmi };
+                (format!("{family} best {measure} = {value:.4} (floor {floor})"), value >= *floor)
+            }
+        },
+        Expectation::EventsDropped { max } => (
+            format!("{} telemetry events dropped (max {max})", m.events_dropped),
+            m.events_dropped <= *max,
+        ),
+        Expectation::ServeEquivalence => (
+            format!(
+                "{} served fits checked against the in-process reference, {} mismatched",
+                m.serve_checked, m.serve_mismatches
+            ),
+            m.serve_checked > 0 && m.serve_mismatches == 0,
+        ),
+        Expectation::AllocPeak { max_bytes } => match m.alloc_peak {
+            None => ("alloc accounting off (MULTICLUST_ALLOC=1 to enforce) — skipped".to_string(), true),
+            Some(peak) => (format!("peak {peak} bytes (ceiling {max_bytes})"), peak <= *max_bytes),
+        },
+    }
+}
+
+/// Corrupts a measured summary the way a dishonest report would: latency
+/// three orders of magnitude up, quality floored, phantom internal
+/// errors, dropped telemetry and a serve mismatch. A judge worth its
+/// name must fail a scenario on at least one of these — `loadtest
+/// --doctor-report` asserts exactly that (negated in check.sh).
+pub fn doctor(m: &mut Measured) {
+    if let Some(latency) = &mut m.latency_us {
+        for s in latency.values_mut() {
+            s.p50 = s.p50.saturating_mul(1000).max(1_000_000);
+            s.p90 = s.p90.saturating_mul(1000).max(1_000_000);
+            s.p99 = s.p99.saturating_mul(1000).max(1_000_000);
+            s.max = s.max.saturating_mul(1000).max(1_000_000);
+        }
+    }
+    for q in m.quality.values_mut() {
+        *q = (0.0, 0.0);
+    }
+    m.events_dropped += 7;
+    m.errors_total += 13;
+    *m.errors_by_code.entry("internal".to_string()).or_insert(0) += 13;
+    if m.serve_checked == 0 {
+        m.serve_checked = 1;
+    }
+    m.serve_mismatches += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean() -> Measured {
+        let mut latency = BTreeMap::new();
+        latency.insert(
+            "fit".to_string(),
+            LatencySummary { count: 10, p50: 900, p90: 1_800, p99: 2_500, max: 3_000 },
+        );
+        let mut quality = BTreeMap::new();
+        quality.insert("kmeans".to_string(), (0.97, 0.95));
+        Measured {
+            planned: 12,
+            errors_total: 0,
+            errors_by_code: BTreeMap::new(),
+            latency_us: Some(latency),
+            quality,
+            serve_checked: 10,
+            serve_mismatches: 0,
+            events_dropped: 0,
+            alloc_peak: None,
+        }
+    }
+
+    fn expectations() -> Vec<Expectation> {
+        vec![
+            Expectation::Latency {
+                op: "fit".to_string(),
+                quantile: "p99".to_string(),
+                max_ms: 50,
+            },
+            Expectation::ErrorRate { max: 0.0 },
+            Expectation::QualityFloor {
+                family: "kmeans".to_string(),
+                measure: "ari".to_string(),
+                floor: 0.8,
+            },
+            Expectation::EventsDropped { max: 0 },
+            Expectation::ServeEquivalence,
+            Expectation::AllocPeak { max_bytes: 1 << 30 },
+        ]
+    }
+
+    #[test]
+    fn clean_run_passes_every_expectation() {
+        let judged = judge(&expectations(), &clean());
+        assert!(verdict(&judged), "{judged:?}");
+        // Alloc accounting off is a skip, not a silent gap.
+        assert!(judged.last().unwrap().measured.contains("skipped"));
+    }
+
+    #[test]
+    fn doctored_summary_fails_the_same_expectations() {
+        let mut m = clean();
+        doctor(&mut m);
+        let judged = judge(&expectations(), &m);
+        assert!(!verdict(&judged));
+        // Specifically latency, error rate, quality, events-dropped and
+        // serve-equivalence must all flip.
+        let fails: Vec<&str> =
+            judged.iter().filter(|j| !j.pass).map(|j| j.expectation.kind()).collect();
+        for kind in ["latency", "error-rate", "quality-floor", "events-dropped", "serve-equivalence"]
+        {
+            assert!(fails.contains(&kind), "{kind} should fail: {fails:?}");
+        }
+    }
+
+    #[test]
+    fn canonical_reports_cannot_vouch_for_latency() {
+        let mut m = clean();
+        m.latency_us = None;
+        let judged = judge(&expectations(), &m);
+        assert!(!judged[0].pass);
+        assert!(judged[0].measured.contains("no timing section"));
+    }
+
+    #[test]
+    fn missing_family_fails_its_floor() {
+        let mut m = clean();
+        m.quality.clear();
+        let judged = judge(&expectations(), &m);
+        let floor = judged.iter().find(|j| j.expectation.kind() == "quality-floor").unwrap();
+        assert!(!floor.pass);
+    }
+}

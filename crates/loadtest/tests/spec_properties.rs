@@ -1,0 +1,134 @@
+//! Property tests of the scenario spec: serialization round-trips
+//! losslessly through JSON for arbitrary scenarios, and malformed specs
+//! are rejected with one clean line naming the offending field.
+
+use multiclust_loadtest::spec::{
+    Arrival, ChaosSpec, DatasetSpec, Expectation, FitParams, MixSpec, ScenarioSpec, ServerSpec,
+    ViewDef,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const FAMILIES: &[&str] = &[
+    "kmeans",
+    "spectral",
+    "coala",
+    "dec-kmeans",
+    "proclus",
+    "subspace-lattice",
+    "orthogonal",
+    "multiview",
+];
+
+/// A seeded arbitrary scenario covering both arrival modes, every
+/// expectation kind, multi-view datasets and chaos knobs.
+fn scenario(seed: u64) -> ScenarioSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(4..200usize);
+    let views = (0..rng.gen_range(1..4usize))
+        .map(|_| ViewDef {
+            dims: rng.gen_range(1..5),
+            clusters: rng.gen_range(1..=n.min(5)),
+            // Quantized floats keep the property about structure, not
+            // about float printing (shortest-roundtrip already holds).
+            separation: rng.gen_range(1..200) as f64 / 4.0,
+            noise: rng.gen_range(0..100) as f64 / 64.0,
+        })
+        .collect();
+    let workers = rng.gen_range(1..6usize);
+    let arrival = if rng.gen::<bool>() {
+        Arrival::Closed { workers, requests: rng.gen_range(1..100) }
+    } else {
+        Arrival::Open { workers, rate: rng.gen_range(1..10), ticks: rng.gen_range(1..10) }
+    };
+    let fit = (0..rng.gen_range(1..4usize))
+        .map(|i| (FAMILIES[(seed as usize + i) % FAMILIES.len()].to_string(), rng.gen_range(0..9)))
+        .chain(std::iter::once(("kmeans".to_string(), 1u64)))
+        .collect();
+    let all_expectations = [
+        Expectation::Latency {
+            op: "fit".to_string(),
+            quantile: ["p50", "p90", "p99"][rng.gen_range(0..3usize)].to_string(),
+            max_ms: rng.gen_range(1..10_000),
+        },
+        Expectation::ErrorRate { max: rng.gen_range(0..64) as f64 / 64.0 },
+        Expectation::ErrorBudget { code: "transport".to_string(), max: rng.gen_range(0..9) },
+        Expectation::MinErrors { code: "unknown-model".to_string(), min: rng.gen_range(0..9) },
+        Expectation::QualityFloor {
+            family: "kmeans".to_string(),
+            measure: ["ari", "nmi"][rng.gen_range(0..2usize)].to_string(),
+            floor: rng.gen_range(0..32) as f64 / 32.0,
+        },
+        Expectation::EventsDropped { max: rng.gen_range(0..4) },
+        Expectation::ServeEquivalence,
+        Expectation::AllocPeak { max_bytes: rng.gen_range(1..u64::MAX / 2) },
+    ];
+    let keep = rng.gen_range(1..=all_expectations.len());
+    ScenarioSpec {
+        name: format!("prop-{seed}"),
+        // JSON integers are i64, so representable seeds live below 2^63.
+        seed: rng.gen_range(0..1u64 << 62),
+        dataset: DatasetSpec { n, noise_dims: rng.gen_range(0..4), views },
+        arrival,
+        mix: MixSpec {
+            fit,
+            assign: rng.gen_range(0..9),
+            compare: rng.gen_range(0..9),
+            list: rng.gen_range(0..9),
+            evict: rng.gen_range(0..9),
+        },
+        fit: FitParams { k: rng.gen_range(1..=n), seed: rng.gen_range(0..1u64 << 62) },
+        server: ServerSpec { capacity: rng.gen_range(1..200), threads: rng.gen_range(0..8) },
+        chaos: ChaosSpec {
+            slow_every: rng.gen_range(0..9),
+            slow_ms: rng.gen_range(0..50),
+            drop_every: rng.gen_range(0..9),
+        },
+        expectations: all_expectations.into_iter().take(keep).collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `parse(to_json(spec)) == spec` for arbitrary scenarios — the JSON
+    /// rendering is a lossless, canonical serialization.
+    #[test]
+    fn json_roundtrip_is_identity(seed in 0u64..1_000_000) {
+        let spec = scenario(seed);
+        let text = spec.to_json();
+        let again = ScenarioSpec::parse(&text)
+            .unwrap_or_else(|e| panic!("rendered spec must re-parse: {e}\n{text}"));
+        prop_assert_eq!(spec, again);
+    }
+
+    /// Parsing is deterministic: the same text yields the same spec.
+    #[test]
+    fn parsing_is_deterministic(seed in 0u64..1_000_000) {
+        let text = scenario(seed).to_json();
+        prop_assert_eq!(ScenarioSpec::parse(&text).unwrap(), ScenarioSpec::parse(&text).unwrap());
+    }
+}
+
+/// Malformed specs die with one clean line naming the bad field — no
+/// usage dump, no multi-line debug spew.
+#[test]
+fn malformed_specs_name_the_field_in_one_line() {
+    let base = scenario(1).to_json();
+    let cases: Vec<(String, &str)> = vec![
+        ("not json at all".to_string(), "not valid JSON"),
+        (r#"{"schema": "multiclust-loadtest/v2"}"#.to_string(), "\"schema\""),
+        (base.replace("\"mode\": \"closed\"", "\"mode\": \"drip\"")
+             .replace("\"mode\": \"open\"", "\"mode\": \"drip\""), "\"arrival.mode\""),
+        (base.replace("\"expectations\": [", "\"expectations\": [{\"kind\": \"vibes\"},"),
+         "\"expectations[0].kind\""),
+        (base.replace(&format!("\"n\": {}", scenario(1).dataset.n), "\"n\": 0"), "\"dataset.n\""),
+    ];
+    for (text, needle) in cases {
+        let e = ScenarioSpec::parse(&text).expect_err(needle);
+        assert!(e.contains(needle), "{needle} not named in: {e}");
+        assert!(!e.contains('\n'), "one clean line: {e}");
+        assert!(!e.contains("usage"), "no usage dump: {e}");
+    }
+}

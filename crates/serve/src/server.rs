@@ -17,7 +17,7 @@ use std::net::TcpListener;
 use std::os::unix::net::UnixListener;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -35,7 +35,7 @@ use crate::protocol::{
     self, BoundedLine, DataSource, ProtocolError, Request, SCHEMA,
 };
 use crate::registry::{FittedModel, ModelRegistry};
-use crate::{FitDispatch, FitSpec, Listen};
+use crate::{ChaosConfig, FitDispatch, FitSpec, Listen};
 
 /// Server construction parameters.
 pub struct ServerConfig {
@@ -43,6 +43,9 @@ pub struct ServerConfig {
     pub capacity: usize,
     /// Executes `fit` requests (supplied by the harness layer).
     pub dispatch: FitDispatch,
+    /// Deterministic degradation for the load-test harness
+    /// (default: disabled).
+    pub chaos: ChaosConfig,
 }
 
 /// What a completed [`Server::run`] reports.
@@ -59,6 +62,8 @@ struct Stats {
     requests: std::collections::BTreeMap<String, u64>,
     errors: u64,
     latency_us: std::collections::BTreeMap<String, Sketch>,
+    chaos_slowed: u64,
+    chaos_dropped: u64,
 }
 
 struct Shared {
@@ -68,6 +73,10 @@ struct Shared {
     stop: AtomicBool,
     start: Instant,
     max_line: usize,
+    chaos: ChaosConfig,
+    // Global workload-op sequence the chaos knobs count on; `stats` and
+    // `shutdown` are exempt so observers and teardown stay reliable.
+    chaos_seq: AtomicU64,
 }
 
 enum ListenerKind {
@@ -108,6 +117,8 @@ impl Server {
             stop: AtomicBool::new(false),
             start: Instant::now(),
             max_line: protocol::max_line_bytes(),
+            chaos: config.chaos,
+            chaos_seq: AtomicU64::new(0),
         });
         Ok(Server { listener, shared, unix_path, addr })
     }
@@ -233,6 +244,28 @@ fn handle_connection(
         };
         let op = parsed.as_ref().map_or("invalid", Request::op);
         let shutdown = matches!(parsed, Ok(Request::Shutdown));
+        // Chaos fires on workload ops only: `stats` answers the load-test
+        // driver's final probe and `shutdown` tears the rig down, so both
+        // must stay reliable even under full degradation.
+        let exempt = matches!(parsed, Ok(Request::Stats) | Ok(Request::Shutdown) | Err(_));
+        if !shared.chaos.disabled() && !exempt {
+            let seq = shared.chaos_seq.fetch_add(1, Ordering::SeqCst) + 1;
+            if shared.chaos.drop_every > 0 && seq % shared.chaos.drop_every == 0 {
+                // Close the connection without a response line: the
+                // client observes an unexpected EOF mid-request — the
+                // transport failure the drivers must survive.
+                let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+                stats.chaos_dropped += 1;
+                *stats.requests.entry(op.to_string()).or_insert(0) += 1;
+                stats.errors += 1;
+                return;
+            }
+            if shared.chaos.slow_every > 0 && seq % shared.chaos.slow_every == 0 {
+                std::thread::sleep(Duration::from_millis(shared.chaos.slow_ms));
+                let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+                stats.chaos_slowed += 1;
+            }
+        }
         // The span covers parse-to-response execution; it lands in the
         // trace sink and the duration sketches exactly like a CLI phase.
         let response = {
@@ -623,6 +656,14 @@ fn op_stats(shared: &Shared, id: &Value) -> Value {
     fields.push(("models".to_string(), Value::Int(registry.len() as i64)));
     fields.push(("capacity".to_string(), Value::Int(registry.capacity() as i64)));
     fields.push(("evictions".to_string(), Value::Int(registry.evictions() as i64)));
+    fields.push((
+        "chaos".to_string(),
+        Value::Object(vec![
+            ("config".to_string(), Value::String(shared.chaos.display())),
+            ("slowed".to_string(), Value::Int(stats.chaos_slowed as i64)),
+            ("dropped".to_string(), Value::Int(stats.chaos_dropped as i64)),
+        ]),
+    ));
     fields.push((
         "events_dropped".to_string(),
         Value::Int(multiclust_telemetry::snapshot().dropped_events as i64),

@@ -179,4 +179,48 @@ done
 cmp "$tmp/serve-1.out" "$tmp/serve-4.out"
 cmp "$tmp/serve-1.out" tests/golden/serve_session.golden
 
+# Load-test gate: the smoke scenario must pass and its canonical report
+# must be a pure function of the scenario — byte-identical across thread
+# counts and against the checked-in golden (refresh with
+# `multiclust loadtest scenarios/smoke.json --canonical \
+#   --golden tests/golden/loadtest_smoke.json --bless`).
+MULTICLUST_THREADS=1 ./target/release/multiclust loadtest scenarios/smoke.json \
+    --canonical --out "$tmp/loadtest-full.json" \
+    > "$tmp/loadtest-1.json" 2> "$tmp/loadtest-1.err"
+MULTICLUST_THREADS=4 ./target/release/multiclust loadtest scenarios/smoke.json \
+    --canonical > "$tmp/loadtest-4.json" 2> /dev/null
+cmp "$tmp/loadtest-1.json" "$tmp/loadtest-4.json"
+cmp "$tmp/loadtest-1.json" tests/golden/loadtest_smoke.json
+grep -q '"schema": "multiclust-loadtest-report/v1"' "$tmp/loadtest-1.json"
+grep -q '"verdict": "PASS"' "$tmp/loadtest-1.json"
+grep -q '"events_dropped": 0' "$tmp/loadtest-1.json"
+grep -q 'PASS serve-equivalence' "$tmp/loadtest-1.err"
+grep -q 'PASS quality-floor' "$tmp/loadtest-1.err"
+
+# Chaos degrades the run but the scenario still passes — and must prove
+# its degradation happened (min-errors on transport).
+./target/release/multiclust loadtest scenarios/chaos.json \
+    > "$tmp/loadtest-chaos.json" 2> "$tmp/loadtest-chaos.err"
+grep -q '"verdict": "PASS"' "$tmp/loadtest-chaos.json"
+grep -q 'PASS min-errors' "$tmp/loadtest-chaos.err"
+
+# Quality floors over the open-loop tick clock.
+./target/release/multiclust loadtest scenarios/quality.json > /dev/null 2>&1
+
+# The loadtest distrusts itself: a server whose dispatch consumes
+# different randomness MUST fail serve-equivalence...
+if ./target/release/multiclust loadtest scenarios/smoke.json \
+    --inject serve-perturbs-rng > /dev/null 2>&1; then
+    echo "check.sh: loadtest passed under an injected rng perturbation" >&2
+    exit 1
+fi
+# ...and a doctored report MUST NOT sneak past the judge (while the
+# faithful report re-judges clean).
+./target/release/multiclust loadtest --judge "$tmp/loadtest-full.json" > /dev/null 2>&1
+if ./target/release/multiclust loadtest --doctor-report "$tmp/loadtest-full.json" \
+    > /dev/null 2>&1; then
+    echo "check.sh: the judge accepted a doctored loadtest report" >&2
+    exit 1
+fi
+
 echo "check.sh: all gates passed"

@@ -64,6 +64,10 @@ commands:
   client       [--connect <addr>] [--request <json> | --script <file>]
                (reads request lines from stdin when neither flag is given;
                 env MULTICLUST_LISTEN when --connect is omitted)
+  loadtest     <scenario.json> [--boot in-process|binary]
+               [--inject <fault>] [--canonical] [--out <file>]
+               [--golden <file> [--bless]]
+               | --judge <report.json> | --doctor-report <report.json>
 
 common flags: --header            first CSV line is a header row
               --seed <n>          RNG seed (default 42)
@@ -100,7 +104,13 @@ output: CSV on stdout — one column per solution, label per object,
         `serve` prints one `{\"type\":\"ready\",...}` line with the bound
         address, then answers multiclust-serve/v1 request lines (fit/
         assign/compare/list/evict/stats) until a shutdown request;
-        `client` prints one response line per request.
+        `client` prints one response line per request; `loadtest` runs a
+        multiclust-loadtest/v1 scenario against the resident service and
+        prints a multiclust-loadtest-report/v1 verdict on stdout (the
+        human summary goes to stderr; exit code mirrors the verdict;
+        --canonical nulls the wall-clock sections so the bytes replay
+        identically across MULTICLUST_THREADS; --judge re-rules a stored
+        report and --doctor-report proves a corrupted one fails).
 ";
 
 fn main() -> ExitCode {
@@ -182,7 +192,8 @@ struct Flags {
 }
 
 /// Flags taking no value: bare `--flag` means "true".
-const BOOLEAN_FLAGS: &[&str] = &["header", "telemetry", "bless", "smoke", "json", "inject-naive"];
+const BOOLEAN_FLAGS: &[&str] =
+    &["header", "telemetry", "bless", "smoke", "json", "inject-naive", "canonical"];
 
 impl Flags {
     fn parse(args: &[String]) -> Result<Self, String> {
@@ -267,7 +278,7 @@ fn run(args: Vec<String>) -> Result<Outcome, CliError> {
         return Err(CliError::from("no command given".to_string()));
     };
     let flags = Flags::parse(rest)?;
-    if !matches!(command.as_str(), "trace" | "diagnose") {
+    if !matches!(command.as_str(), "trace" | "diagnose" | "loadtest") {
         if let Some(stray) = flags.positional.first() {
             return Err(format!("unexpected argument {stray:?} (expected a --flag)").into());
         }
@@ -296,6 +307,7 @@ fn run(args: Vec<String>) -> Result<Outcome, CliError> {
         "trend" => cmd_trend(&flags).map(Outcome::ok).map_err(CliError::from),
         "serve" => cmd_serve(&flags),
         "client" => cmd_client(&flags),
+        "loadtest" => cmd_loadtest(&flags),
         "help" | "--help" | "-h" => Ok(Outcome::ok(USAGE.to_string())),
         other => Err(format!("unknown command {other:?}").into()),
     }?;
@@ -701,7 +713,14 @@ fn cmd_serve(flags: &Flags) -> Result<Outcome, CliError> {
     if capacity == 0 {
         return Err(CliError::from("--capacity must be at least 1".to_string()));
     }
-    let config = ServerConfig { capacity, dispatch: multiclust::harness::fit_dispatch() };
+    // Chaos is opt-in via the environment so the load-test harness can
+    // degrade a binary-booted server; production boots leave it unset.
+    let chaos = multiclust::serve::ChaosConfig::from_env().map_err(CliError::plain)?;
+    let config = ServerConfig {
+        capacity,
+        dispatch: multiclust::harness::fit_dispatch(),
+        chaos,
+    };
     let server = Server::bind(&listen, config)
         .map_err(|e| CliError::plain(format!("cannot listen on {}: {e}", listen.display())))?;
     // The ready line must reach the caller before the accept loop blocks:
@@ -772,6 +791,109 @@ fn cmd_client(flags: &Flags) -> Result<Outcome, CliError> {
         out.push('\n');
     }
     Ok(Outcome::ok(out))
+}
+
+fn cmd_loadtest(flags: &Flags) -> Result<Outcome, CliError> {
+    use multiclust::loadtest::{driver, judge, report, ScenarioSpec};
+
+    // --judge / --doctor-report re-rule a stored report without running
+    // anything; --doctor-report corrupts the measured summary first and
+    // is expected to FAIL (negated in check.sh — the judge proving it
+    // actually reads the numbers).
+    if flags.get("judge").is_some() || flags.get("doctor-report").is_some() {
+        let doctor = flags.get("doctor-report").is_some();
+        let path = flags
+            .get("doctor-report")
+            .or_else(|| flags.get("judge"))
+            .expect("checked above");
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::plain(format!("reading {path}: {e}")))?;
+        let mut parsed = report::parse(&text).map_err(CliError::plain)?;
+        if doctor {
+            judge::doctor(&mut parsed.measured);
+        }
+        let judged = judge::judge(&parsed.expectations, &parsed.measured);
+        let passed = judge::verdict(&judged);
+        print_judgements(&parsed.scenario, &judged);
+        let verdict = if passed { "PASS" } else { "FAIL" };
+        return Ok(Outcome { output: format!("{verdict}\n"), passed });
+    }
+
+    let Some(path) = flags.positional.first() else {
+        return Err("loadtest needs a scenario file (e.g. scenarios/smoke.json)"
+            .to_string()
+            .into());
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::plain(format!("reading {path}: {e}")))?;
+    let spec = ScenarioSpec::parse(&text).map_err(CliError::plain)?;
+    let boot = match flags.get("boot").map(String::as_str) {
+        None | Some("in-process") => driver::BootMode::InProcess,
+        Some("binary") => driver::BootMode::Binary,
+        Some(other) => {
+            return Err(format!("flag --boot: expected in-process or binary, got {other:?}").into())
+        }
+    };
+    let inject = match flags.get("inject") {
+        None => None,
+        Some(name) => Some(driver::Inject::parse(name)?),
+    };
+    let record =
+        driver::run_scenario(&spec, &driver::RunOptions { boot, inject }).map_err(CliError::plain)?;
+    let judged = judge::judge(&spec.expectations, &judge::Measured::from_record(&record));
+    let mut passed = judge::verdict(&judged);
+    let rendered = report::render(&report::build(&record, &judged, flags.bool("canonical")));
+    if let Some(out) = flags.get("out") {
+        // The file always carries the full report (timing included) so
+        // it can be re-judged on latency later.
+        std::fs::write(out, report::render(&report::build(&record, &judged, false)))
+            .map_err(|e| CliError::plain(format!("writing {out}: {e}")))?;
+    }
+    eprintln!(
+        "loadtest {}: {} planned, {} responded, {} errors, {} ms wall",
+        spec.name,
+        record.planned,
+        record.responded,
+        record.errors_by_code.values().sum::<u64>(),
+        record.wall_ms
+    );
+    print_judgements(&spec.name, &judged);
+    if let Some(golden) = flags.get("golden") {
+        let bless =
+            flags.bool("bless") || std::env::var("MULTICLUST_BLESS").as_deref() == Ok("1");
+        if bless {
+            std::fs::write(golden, &rendered)
+                .map_err(|e| CliError::plain(format!("writing {golden}: {e}")))?;
+            eprintln!("loadtest: blessed {golden}");
+        } else {
+            let expected = std::fs::read_to_string(golden)
+                .map_err(|e| CliError::plain(format!("reading {golden}: {e}")))?;
+            if expected != rendered {
+                eprintln!("loadtest: report diverges from golden {golden} (--bless to refresh)");
+                passed = false;
+            }
+        }
+    }
+    Ok(Outcome { output: rendered, passed })
+}
+
+/// One judgement line per expectation, stderr — stdout stays the JSON
+/// contract (the bench convention).
+fn print_judgements(scenario: &str, judged: &[multiclust::loadtest::Judged]) {
+    for j in judged {
+        eprintln!(
+            "  {} {:<17} {}",
+            if j.pass { "PASS" } else { "FAIL" },
+            j.expectation.kind(),
+            j.measured
+        );
+    }
+    let failed = judged.iter().filter(|j| !j.pass).count();
+    if failed == 0 {
+        eprintln!("loadtest {scenario}: PASS ({} expectations)", judged.len());
+    } else {
+        eprintln!("loadtest {scenario}: FAIL ({failed} of {} expectations)", judged.len());
+    }
 }
 
 fn cmd_compare(flags: &Flags) -> Result<String, String> {

@@ -31,8 +31,12 @@ fn boot(
     capacity: usize,
 ) -> (Listen, std::thread::JoinHandle<multiclust::serve::ServerSummary>) {
     let listen = Listen::parse("127.0.0.1:0").unwrap();
-    let server = Server::bind(&listen, ServerConfig { capacity, dispatch: fit_dispatch() })
-        .expect("bind ephemeral port");
+    let config = ServerConfig {
+        capacity,
+        dispatch: fit_dispatch(),
+        chaos: multiclust::serve::ChaosConfig::default(),
+    };
+    let server = Server::bind(&listen, config).expect("bind ephemeral port");
     let addr = server.local_addr().to_string();
     let handle = std::thread::spawn(move || server.run().expect("server run"));
     (Listen::parse(&addr).unwrap(), handle)

@@ -250,7 +250,9 @@ fn metrics_stream_emits_parseable_snapshots() {
         metrics::start_metrics(&path, std::time::Duration::from_millis(5))
             .expect("open metrics stream");
         let _ = fit_both();
-        std::thread::sleep(std::time::Duration::from_millis(15));
+        // No sleep: the sampler writes one snapshot immediately on start
+        // and a final one on stop, so ≥2 snapshots hold by construction
+        // rather than by winning a wall-clock race.
         metrics::stop_metrics();
     });
     let raw = std::fs::read_to_string(&path).expect("metrics file exists");
