@@ -62,6 +62,11 @@ pub enum Inject {
     /// Chaos: close the connection without responding on every second
     /// workload op. Caught by the `transport` error budget.
     DropConnection,
+    /// Wraps the in-process dispatch to panic on every fit — the handler
+    /// catches the unwind, answers an `internal` error and auto-dumps the
+    /// flight recorder. Caught by the error-rate ceiling; the failed
+    /// verdict must name a request id that appears in the dump.
+    PanicFit,
 }
 
 impl Inject {
@@ -73,6 +78,7 @@ impl Inject {
             Inject::DesyncKernels,
             Inject::SlowHandler,
             Inject::DropConnection,
+            Inject::PanicFit,
         ]
     }
 
@@ -85,6 +91,7 @@ impl Inject {
             Inject::DesyncKernels => Fault::DesyncKernels.name(),
             Inject::SlowHandler => "slow-handler",
             Inject::DropConnection => "drop-connection",
+            Inject::PanicFit => "panic-fit",
         }
     }
 
@@ -113,7 +120,10 @@ impl Inject {
     fn needs_in_process(self) -> bool {
         matches!(
             self,
-            Inject::ServePerturbsRng | Inject::TracePerturbsRng | Inject::DesyncKernels
+            Inject::ServePerturbsRng
+                | Inject::TracePerturbsRng
+                | Inject::DesyncKernels
+                | Inject::PanicFit
         )
     }
 }
@@ -161,6 +171,10 @@ impl Default for RunOptions {
 struct PlannedOp {
     tick: usize,
     op: &'static str,
+    /// Protocol request id (`t<j>`) — the correlation key the server
+    /// echoes, threads through its `serve.<op>` spans and writes into
+    /// flight-recorder dumps.
+    id: String,
     family: Option<String>,
     request: String,
     /// `list` responses depend on cross-worker LRU order, so they stay
@@ -352,7 +366,7 @@ fn build_plan(spec: &ScenarioSpec, case: &Case) -> Result<Plan, String> {
                 families.push(f.clone());
             }
         }
-        per_worker[w].push(PlannedOp { tick, op, family, request, digest });
+        per_worker[w].push(PlannedOp { tick, op, id, family, request, digest });
     }
 
     if max_live > spec.server.capacity {
@@ -470,10 +484,17 @@ fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
     h
 }
 
+/// How many failed request ids each worker (and the merged record) keeps
+/// as correlation samples — enough to grep a flight dump, small enough to
+/// never bloat a report.
+const ERROR_SAMPLE_CAP: usize = 8;
+
 #[derive(Default)]
 struct WorkerOut {
     latency: BTreeMap<String, Sketch>,
     errors_by_code: BTreeMap<String, u64>,
+    /// First few failed ops as `(code, request_id)` pairs, in send order.
+    error_samples: Vec<(String, String)>,
     responded: u64,
     digest: u64,
     first_fits: BTreeMap<String, String>,
@@ -511,6 +532,9 @@ fn run_worker(
                     // the transport error, reconnect, move on — the op
                     // is NOT retried, so op counts stay deterministic.
                     *out.errors_by_code.entry("transport".to_string()).or_insert(0) += 1;
+                    if out.error_samples.len() < ERROR_SAMPLE_CAP {
+                        out.error_samples.push(("transport".to_string(), op.id.clone()));
+                    }
                     conn = client::Connection::open(listen)
                         .map_err(|e| format!("reconnect to {}: {e}", listen.display()))?;
                     continue;
@@ -536,6 +560,9 @@ fn run_worker(
                     },
                     _ => "unknown".to_string(),
                 };
+                if out.error_samples.len() < ERROR_SAMPLE_CAP {
+                    out.error_samples.push((code.clone(), op.id.clone()));
+                }
                 *out.errors_by_code.entry(code).or_insert(0) += 1;
             } else if op.op == "fit" {
                 let family = op.family.clone().unwrap_or_default();
@@ -569,6 +596,9 @@ fn wrap_dispatch(inject: Option<Inject>) -> FitDispatch {
                 inner(&perturbed)
             })
         }
+        Some(Inject::PanicFit) => Arc::new(move |spec: &FitSpec| {
+            panic!("injected panic-fit: family {:?}", spec.family)
+        }),
         Some(Inject::DesyncKernels) => Arc::new(move |spec: &FitSpec| {
             let mut solutions = inner(spec)?;
             if let Some(first) = solutions.first_mut() {
@@ -742,6 +772,12 @@ pub struct RunRecord {
     /// Driver-observed errors per structured code (`transport` for
     /// connections dropped mid-request).
     pub errors_by_code: BTreeMap<String, u64>,
+    /// First few failed ops as `(code, request_id)` pairs, merged in
+    /// worker order — the ids to grep for in the server's flight dump.
+    pub error_samples: Vec<(String, String)>,
+    /// Server-side flight-recorder dump, captured by a `dump` probe just
+    /// before shutdown (`None` when the recorder is disabled).
+    pub flight_dump: Option<String>,
     /// Server-side chaos counters (from the final `stats` probe).
     pub chaos_slowed: u64,
     /// Connections the server deliberately dropped.
@@ -806,6 +842,7 @@ pub fn run_scenario(spec: &ScenarioSpec, options: &RunOptions) -> Result<RunReco
     // worker order (they are byte-identical anyway under no fault).
     let mut latency: BTreeMap<String, Sketch> = BTreeMap::new();
     let mut errors_by_code: BTreeMap<String, u64> = BTreeMap::new();
+    let mut error_samples: Vec<(String, String)> = Vec::new();
     let mut responded = 0u64;
     let mut digest = FNV_OFFSET;
     let mut first_fits: BTreeMap<String, String> = BTreeMap::new();
@@ -817,6 +854,11 @@ pub fn run_scenario(spec: &ScenarioSpec, options: &RunOptions) -> Result<RunReco
         }
         for (code, n) in &out.errors_by_code {
             *errors_by_code.entry(code.clone()).or_insert(0) += n;
+        }
+        for sample in &out.error_samples {
+            if error_samples.len() < ERROR_SAMPLE_CAP {
+                error_samples.push(sample.clone());
+            }
         }
         responded += out.responded;
         digest = fnv1a(digest, &out.digest.to_be_bytes());
@@ -853,6 +895,20 @@ pub fn run_scenario(spec: &ScenarioSpec, options: &RunOptions) -> Result<RunReco
     let events_dropped = int_at(stats_fields, "events_dropped");
     let registry_models = int_at(stats_fields, "models");
     let registry_evictions = int_at(stats_fields, "evictions");
+
+    // Flight-recorder probe (also chaos-exempt): capture the server-side
+    // dump path so a failed verdict can point straight at the evidence.
+    // A `bad-request` answer just means the recorder is off.
+    let flight_dump = client::roundtrip(&listen, r#"{"id":"dump","op":"dump"}"#)
+        .ok()
+        .and_then(|line| serde_json::parse_value(&line).ok())
+        .and_then(|v| match v {
+            Value::Object(fields) => match response_field(&fields, "path") {
+                Some(Value::String(p)) => Some(p.clone()),
+                _ => None,
+            },
+            _ => None,
+        });
     booted.shutdown()?;
 
     let mut quality = BTreeMap::new();
@@ -871,6 +927,8 @@ pub fn run_scenario(spec: &ScenarioSpec, options: &RunOptions) -> Result<RunReco
         by_op: plan.by_op,
         by_family: plan.by_family,
         errors_by_code,
+        error_samples,
+        flight_dump,
         chaos_slowed,
         chaos_dropped,
         registry_models,

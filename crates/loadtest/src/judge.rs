@@ -64,6 +64,10 @@ pub struct Measured {
     pub events_dropped: u64,
     /// Peak live heap in bytes when alloc accounting was on.
     pub alloc_peak: Option<u64>,
+    /// Workload ops the server's chaos layer deliberately slowed.
+    pub chaos_slowed: u64,
+    /// Workload ops the server's chaos layer deliberately dropped.
+    pub chaos_dropped: u64,
 }
 
 impl Measured {
@@ -95,6 +99,8 @@ impl Measured {
             serve_mismatches: record.serve_mismatches,
             events_dropped: record.events_dropped,
             alloc_peak: record.alloc_peak,
+            chaos_slowed: record.chaos_slowed,
+            chaos_dropped: record.chaos_dropped,
         }
     }
 }
@@ -186,6 +192,13 @@ fn rule(e: &Expectation, m: &Measured) -> (String, bool) {
             ),
             m.serve_checked > 0 && m.serve_mismatches == 0,
         ),
+        Expectation::ChaosFired { slowed, dropped } => (
+            format!(
+                "chaos slowed {} / dropped {} workload ops (expected exactly {slowed}/{dropped})",
+                m.chaos_slowed, m.chaos_dropped
+            ),
+            m.chaos_slowed == *slowed && m.chaos_dropped == *dropped,
+        ),
         Expectation::AllocPeak { max_bytes } => match m.alloc_peak {
             None => ("alloc accounting off (MULTICLUST_ALLOC=1 to enforce) — skipped".to_string(), true),
             Some(peak) => (format!("peak {peak} bytes (ceiling {max_bytes})"), peak <= *max_bytes),
@@ -217,6 +230,10 @@ pub fn doctor(m: &mut Measured) {
         m.serve_checked = 1;
     }
     m.serve_mismatches += 1;
+    // A chaos layer that claims it never fired when the scenario demanded
+    // it must not pass a chaos-fired expectation.
+    m.chaos_slowed = m.chaos_slowed.wrapping_add(3);
+    m.chaos_dropped = m.chaos_dropped.wrapping_add(5);
 }
 
 #[cfg(test)]
@@ -241,6 +258,8 @@ mod tests {
             serve_mismatches: 0,
             events_dropped: 0,
             alloc_peak: None,
+            chaos_slowed: 0,
+            chaos_dropped: 0,
         }
     }
 
@@ -259,6 +278,7 @@ mod tests {
             },
             Expectation::EventsDropped { max: 0 },
             Expectation::ServeEquivalence,
+            Expectation::ChaosFired { slowed: 0, dropped: 0 },
             Expectation::AllocPeak { max_bytes: 1 << 30 },
         ]
     }
@@ -281,8 +301,14 @@ mod tests {
         // serve-equivalence must all flip.
         let fails: Vec<&str> =
             judged.iter().filter(|j| !j.pass).map(|j| j.expectation.kind()).collect();
-        for kind in ["latency", "error-rate", "quality-floor", "events-dropped", "serve-equivalence"]
-        {
+        for kind in [
+            "latency",
+            "error-rate",
+            "quality-floor",
+            "events-dropped",
+            "serve-equivalence",
+            "chaos-fired",
+        ] {
             assert!(fails.contains(&kind), "{kind} should fail: {fails:?}");
         }
     }

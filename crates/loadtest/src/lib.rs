@@ -21,7 +21,10 @@
 //!   summary, whether it came from a live run or a re-loaded report;
 //! * [`report`] — renders and re-parses the verdict document, including
 //!   the `--canonical` form whose bytes are identical across thread
-//!   counts.
+//!   counts;
+//! * [`trend`] — latency trend tables and the SLO gate over checked-in
+//!   `LOADTEST_*.json` reports (the latency analogue of the bench
+//!   layer's `BENCH_*.json` trend/compare).
 //!
 //! Like the bench and verify layers, the loadtest distrusts itself:
 //! `--inject` wires a known fault (reusing the harness fault registry's
@@ -36,6 +39,7 @@ pub mod driver;
 pub mod judge;
 pub mod report;
 pub mod spec;
+pub mod trend;
 
 pub use driver::{run_scenario, BootMode, Inject, RunOptions, RunRecord};
 pub use judge::{judge, verdict, Judged, LatencySummary, Measured};

@@ -130,6 +130,21 @@ pub fn build(record: &RunRecord, judged: &[Judged], canonical: bool) -> Value {
             obj(vec![
                 ("total", int(record.errors_by_code.values().sum())),
                 ("by_code", counts(&record.errors_by_code)),
+                (
+                    "samples",
+                    Value::Array(
+                        record
+                            .error_samples
+                            .iter()
+                            .map(|(code, id)| {
+                                obj(vec![
+                                    ("code", Value::String(code.clone())),
+                                    ("request_id", Value::String(id.clone())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
             ]),
         ),
         (
@@ -159,6 +174,15 @@ pub fn build(record: &RunRecord, judged: &[Judged], canonical: bool) -> Value {
         ),
         ("timing", timing),
         ("alloc", alloc),
+        // The dump path is machine-specific (pid, temp dir), so the
+        // canonical rendering nulls it like the other wall-clock fields.
+        (
+            "flight_dump",
+            match &record.flight_dump {
+                Some(path) if !canonical => Value::String(path.clone()),
+                _ => Value::Null,
+            },
+        ),
         ("expectations", Value::Array(expectations)),
         (
             "verdict",
@@ -266,6 +290,7 @@ pub fn parse(text: &str) -> Result<ParsedReport, String> {
     let requests = object_at(fields, "requests")?;
     let errors = object_at(fields, "errors")?;
     let serve = object_at(fields, "serve_equivalence")?;
+    let chaos = object_at(fields, "chaos")?;
     let latency_us = match get(fields, "timing") {
         Some(Value::Null) | None => None,
         Some(Value::Object(timing)) => {
@@ -334,6 +359,8 @@ pub fn parse(text: &str) -> Result<ParsedReport, String> {
             serve_mismatches: u64_at(serve, "mismatches")?,
             events_dropped: u64_at(fields, "events_dropped")?,
             alloc_peak,
+            chaos_slowed: u64_at(chaos, "slowed")?,
+            chaos_dropped: u64_at(chaos, "dropped")?,
         },
     })
 }
@@ -364,6 +391,8 @@ mod tests {
             by_op: BTreeMap::from([("fit".to_string(), 3)]),
             by_family: BTreeMap::from([("kmeans".to_string(), 3)]),
             errors_by_code: BTreeMap::new(),
+            error_samples: Vec::new(),
+            flight_dump: Some("/tmp/multiclust-flight-1-serve.jsonl".to_string()),
             chaos_slowed: 0,
             chaos_dropped: 0,
             registry_models: 3,
@@ -412,6 +441,9 @@ mod tests {
         assert!(text.contains("\"timing\": null"), "{text}");
         assert!(text.contains(REDACTED), "{text}");
         assert!(!text.contains("wall_ms"), "{text}");
+        // The machine-specific dump path is nulled too.
+        assert!(text.contains("\"flight_dump\": null"), "{text}");
+        assert!(!text.contains("multiclust-flight-1-serve"), "{text}");
         // A canonical report refuses to vouch for latency on re-judge.
         let parsed = parse(&text).unwrap();
         let again = judge::judge(&parsed.expectations, &parsed.measured);

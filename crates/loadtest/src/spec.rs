@@ -194,6 +194,15 @@ pub enum Expectation {
     /// Every served fit must match the in-process reference fit byte for
     /// byte (zero mismatches).
     ServeEquivalence,
+    /// The server's own chaos counters must report exactly this many
+    /// slowed and dropped workload ops — the scenario proving its chaos
+    /// knobs actually fired (and fired deterministically).
+    ChaosFired {
+        /// Exact `serve.chaos.slowed` count expected.
+        slowed: u64,
+        /// Exact `serve.chaos.dropped` count expected.
+        dropped: u64,
+    },
     /// Allocation peak ceiling, judged only when `MULTICLUST_ALLOC=1`
     /// (skipped — and counted as passing — otherwise).
     AllocPeak {
@@ -213,6 +222,7 @@ impl Expectation {
             Expectation::QualityFloor { .. } => "quality-floor",
             Expectation::EventsDropped { .. } => "events-dropped",
             Expectation::ServeEquivalence => "serve-equivalence",
+            Expectation::ChaosFired { .. } => "chaos-fired",
             Expectation::AllocPeak { .. } => "alloc-peak",
         }
     }
@@ -474,13 +484,17 @@ pub(crate) fn parse_expectation(v: &Value, i: usize) -> Result<Expectation, Stri
         }
         "events-dropped" => Ok(Expectation::EventsDropped { max: u64_at(fields, &path, "max")? }),
         "serve-equivalence" => Ok(Expectation::ServeEquivalence),
+        "chaos-fired" => Ok(Expectation::ChaosFired {
+            slowed: u64_at(fields, &path, "slowed")?,
+            dropped: u64_at(fields, &path, "dropped")?,
+        }),
         "alloc-peak" => Ok(Expectation::AllocPeak { max_bytes: u64_at(fields, &path, "max_bytes")? }),
         other => err(
             &join(&path, "kind"),
             format_args!(
                 "unknown expectation kind {other:?} (expected latency, error-rate, \
                  error-budget, min-errors, quality-floor, events-dropped, \
-                 serve-equivalence or alloc-peak)"
+                 serve-equivalence, chaos-fired or alloc-peak)"
             ),
         ),
     }
@@ -686,6 +700,10 @@ pub fn expectation_value(e: &Expectation) -> Value {
             fields.push(("max".to_string(), Value::Int(*max as i64)));
         }
         Expectation::ServeEquivalence => {}
+        Expectation::ChaosFired { slowed, dropped } => {
+            fields.push(("slowed".to_string(), Value::Int(*slowed as i64)));
+            fields.push(("dropped".to_string(), Value::Int(*dropped as i64)));
+        }
         Expectation::AllocPeak { max_bytes } => {
             fields.push(("max_bytes".to_string(), Value::Int(*max_bytes as i64)));
         }

@@ -1,0 +1,218 @@
+//! Latency trend tables and the SLO gate over stored
+//! `multiclust-loadtest-report/v1` files.
+//!
+//! The bench layer already tabulates kernel throughput across checked-in
+//! `BENCH_*.json` reports; this module does the same for the serving
+//! layer's tail latencies: `multiclust trend` ingests every checked-in
+//! `LOADTEST_*.json` report and prints one p50/p90/p99 row per op family
+//! and report, and `trend --slo <report>` gates a candidate report's
+//! per-op p99 against the checked-in baselines — the latency analogue of
+//! `bench --compare`.
+//!
+//! The gate is deliberately forgiving about wall-clock noise (a
+//! multiplicative headroom factor over the worst baseline, with an
+//! absolute floor for sub-millisecond ops) and unforgiving about real
+//! regressions: a doctored report whose p99 grew a thousandfold must
+//! fail, which `scripts/check.sh` asserts in the negated direction.
+
+use std::collections::BTreeMap;
+
+use crate::judge::LatencySummary;
+use crate::report::ParsedReport;
+
+/// Headroom factor the SLO gate allows over the worst baseline p99.
+pub const SLO_FACTOR: f64 = 8.0;
+
+/// Absolute floor (µs) the baseline is clamped to before the factor is
+/// applied, so sub-millisecond ops don't gate on scheduler jitter.
+pub const SLO_FLOOR_US: u64 = 1_000;
+
+/// One stored report's latency rows, keyed by op.
+fn rows(report: &ParsedReport) -> BTreeMap<String, LatencySummary> {
+    report.measured.latency_us.clone().unwrap_or_default()
+}
+
+/// Tabulates per-op latency quantiles across stored reports, one block
+/// per op family with a row per report label — the loadtest half of
+/// `multiclust trend`.
+pub fn trend(reports: &[(String, ParsedReport)]) -> String {
+    use std::fmt::Write as _;
+    let mut ops: Vec<String> = Vec::new();
+    for (_, report) in reports {
+        for op in rows(report).keys() {
+            if !ops.contains(op) {
+                ops.push(op.clone());
+            }
+        }
+    }
+    ops.sort();
+    let label_w = reports
+        .iter()
+        .map(|(l, _)| l.len())
+        .max()
+        .unwrap_or(6)
+        .max("report".len());
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "loadtest latency trend over {} report(s) (microseconds)",
+        reports.len()
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:<label_w$} {:>8} {:>10} {:>10} {:>10}",
+        "op", "report", "count", "p50", "p90", "p99"
+    );
+    for op in &ops {
+        for (label, report) in reports {
+            let Some(s) = rows(report).get(op).copied() else {
+                continue;
+            };
+            let _ = writeln!(
+                out,
+                "{op:<10} {label:<label_w$} {:>8} {:>10} {:>10} {:>10}",
+                s.count, s.p50, s.p90, s.p99
+            );
+        }
+    }
+    if ops.is_empty() {
+        out.push_str("(no report carries a timing section — canonical renderings only)\n");
+    }
+    out
+}
+
+/// Gates a candidate report's per-op p99 against the stored baselines:
+/// for every op the candidate and at least one baseline both measured,
+/// the candidate's p99 must stay within [`SLO_FACTOR`] × the worst
+/// baseline p99 (clamped up to [`SLO_FLOOR_US`]). Ops without a baseline
+/// are reported but never gate. Returns the verdict text and whether the
+/// gate passed.
+pub fn slo_gate(
+    baselines: &[(String, ParsedReport)],
+    candidate_label: &str,
+    candidate: &ParsedReport,
+) -> Result<(String, bool), String> {
+    use std::fmt::Write as _;
+    let Some(candidate_rows) = candidate.measured.latency_us.clone() else {
+        return Err(format!(
+            "candidate report {candidate_label} has no timing section \
+             (canonical renderings cannot be SLO-gated)"
+        ));
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "slo gate: candidate {candidate_label} vs {} baseline report(s), \
+         ceiling = {SLO_FACTOR}x worst baseline p99 (floor {SLO_FLOOR_US} us)",
+        baselines.len()
+    );
+    let mut passed = true;
+    let mut gated = 0usize;
+    for (op, s) in &candidate_rows {
+        // Worst (largest) baseline p99 for this op across all stored
+        // reports — the most lenient honest reference.
+        let reference = baselines
+            .iter()
+            .filter_map(|(_, b)| rows(b).get(op).map(|r| r.p99))
+            .max();
+        match reference {
+            None => {
+                let _ = writeln!(out, "  ....  {op:<10} p99 {:>10} us (no baseline)", s.p99);
+            }
+            Some(reference) => {
+                gated += 1;
+                let limit = (reference.max(SLO_FLOOR_US) as f64 * SLO_FACTOR) as u64;
+                let ok = s.p99 <= limit;
+                passed &= ok;
+                let _ = writeln!(
+                    out,
+                    "  {}  {op:<10} p99 {:>10} us vs baseline {reference} us (limit {limit})",
+                    if ok { "PASS" } else { "FAIL" },
+                    s.p99
+                );
+            }
+        }
+    }
+    if gated == 0 {
+        // A gate that never compares anything is not a gate.
+        let _ = writeln!(out, "slo gate: FAIL (no op had both a candidate and a baseline measurement)");
+        return Ok((out, false));
+    }
+    let _ = writeln!(out, "slo gate: {}", if passed { "PASS" } else { "FAIL" });
+    Ok((out, passed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report;
+
+    /// A minimal full (non-canonical) report with one `fit` row at the
+    /// given p99.
+    fn stored(p99: u64) -> ParsedReport {
+        let text = format!(
+            r#"{{
+                "schema": "multiclust-loadtest-report/v1",
+                "scenario": "t",
+                "requests": {{"planned": 3}},
+                "errors": {{"total": 0, "by_code": {{}}}},
+                "chaos": {{"slowed": 0, "dropped": 0}},
+                "quality": {{}},
+                "serve_equivalence": {{"checked": 1, "mismatches": 0}},
+                "events_dropped": 0,
+                "timing": {{"latency_us": {{"fit": {{"count": 3, "p50": 100, "p90": 200, "p99": {p99}, "max": {p99}}}}}}},
+                "expectations": [{{"kind": "serve-equivalence"}}],
+                "verdict": "PASS"
+            }}"#
+        );
+        report::parse(&text).unwrap()
+    }
+
+    #[test]
+    fn trend_tabulates_every_report_per_op() {
+        let reports =
+            vec![("PR10_a".to_string(), stored(900)), ("PR10_b".to_string(), stored(1_100))];
+        let table = trend(&reports);
+        assert!(table.contains("fit"), "{table}");
+        assert!(table.contains("PR10_a"), "{table}");
+        assert!(table.contains("PR10_b"), "{table}");
+        assert!(table.contains("900"), "{table}");
+        assert!(table.contains("1100"), "{table}");
+    }
+
+    #[test]
+    fn slo_gate_passes_within_headroom_and_fails_a_thousandfold_p99() {
+        let baselines = vec![("base".to_string(), stored(1_200))];
+        let (text, ok) = slo_gate(&baselines, "cand", &stored(2_000)).unwrap();
+        assert!(ok, "{text}");
+        assert!(text.contains("slo gate: PASS"), "{text}");
+        let (text, ok) = slo_gate(&baselines, "cand", &stored(1_200_000)).unwrap();
+        assert!(!ok, "{text}");
+        assert!(text.contains("slo gate: FAIL"), "{text}");
+        assert!(text.contains("FAIL  fit"), "{text}");
+    }
+
+    #[test]
+    fn slo_gate_floors_tiny_baselines_and_rejects_canonical_candidates() {
+        // A 50 us baseline gates at 8x the 1 ms floor, not 8x 50 us.
+        let baselines = vec![("base".to_string(), stored(50))];
+        let (_, ok) = slo_gate(&baselines, "cand", &stored(7_900)).unwrap();
+        assert!(ok, "sub-ms ops must not gate on jitter");
+        // Canonical candidate (no timing) is an error, not a silent pass.
+        let mut canonical = stored(100);
+        canonical.measured.latency_us = None;
+        let e = slo_gate(&baselines, "cand", &canonical).unwrap_err();
+        assert!(e.contains("no timing section"), "{e}");
+    }
+
+    #[test]
+    fn slo_gate_with_no_overlap_fails_rather_than_vacuously_passing() {
+        let mut other = stored(100);
+        let rows = other.measured.latency_us.take().unwrap();
+        let renamed = rows.into_iter().map(|(_, v)| ("assign".to_string(), v)).collect();
+        other.measured.latency_us = Some(renamed);
+        let (text, ok) = slo_gate(&[("base".to_string(), other)], "cand", &stored(100)).unwrap();
+        assert!(!ok, "{text}");
+        assert!(text.contains("no baseline"), "{text}");
+    }
+}

@@ -2,7 +2,7 @@
 //! both directions.
 //!
 //! Requests carry an `op` (`fit`, `assign`, `compare`, `list`, `evict`,
-//! `stats`, `shutdown`) plus op-specific fields, and an optional `id`
+//! `stats`, `dump`, `shutdown`) plus op-specific fields, and an optional `id`
 //! that is echoed verbatim in the response. Responses always carry
 //! `schema`, the echoed `id`, and `ok`; failures carry a structured
 //! `error: {code, message}` object instead of op output — a malformed
@@ -103,6 +103,9 @@ pub enum Request {
     },
     /// Server statistics (uptime, per-op latency sketches, gauges).
     Stats,
+    /// Dump the flight recorder to a server-side file and return its
+    /// path — the forensics hook for remote clients.
+    Dump,
     /// Stop accepting, drain, flush, exit.
     Shutdown,
 }
@@ -117,6 +120,7 @@ impl Request {
             Request::List => "list",
             Request::Evict { .. } => "evict",
             Request::Stats => "stats",
+            Request::Dump => "dump",
             Request::Shutdown => "shutdown",
         }
     }
@@ -364,11 +368,12 @@ fn parse_request_fields(obj: &[(String, Value)]) -> Result<Request, ProtocolErro
             })?,
         }),
         "stats" => Ok(Request::Stats),
+        "dump" => Ok(Request::Dump),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(ProtocolError {
             code: "unknown-op",
             message: format!(
-                "unknown op {other:?} (expected fit, assign, compare, list, evict, stats or shutdown)"
+                "unknown op {other:?} (expected fit, assign, compare, list, evict, stats, dump or shutdown)"
             ),
         }),
     }

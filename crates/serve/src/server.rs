@@ -77,6 +77,10 @@ struct Shared {
     // Global workload-op sequence the chaos knobs count on; `stats` and
     // `shutdown` are exempt so observers and teardown stay reliable.
     chaos_seq: AtomicU64,
+    // Connection ids for request correlation: every record a request
+    // leaves behind (span fields, flight ring, trace lines) carries the
+    // accepting connection's id alongside the request id.
+    conn_seq: AtomicU64,
 }
 
 enum ListenerKind {
@@ -119,6 +123,7 @@ impl Server {
             max_line: protocol::max_line_bytes(),
             chaos: config.chaos,
             chaos_seq: AtomicU64::new(0),
+            conn_seq: AtomicU64::new(0),
         });
         Ok(Server { listener, shared, unix_path, addr })
     }
@@ -207,8 +212,10 @@ fn handle_connection(
     reader: Box<dyn Read + Send>,
     mut writer: Box<dyn Write + Send>,
 ) {
+    use multiclust_telemetry::flight;
     let mut reader = BufReader::new(reader);
     let stop = || shared.stop.load(Ordering::SeqCst);
+    let conn = shared.conn_seq.fetch_add(1, Ordering::SeqCst) + 1;
     loop {
         let line = match protocol::read_line_bounded(&mut reader, shared.max_line, &stop) {
             Ok(BoundedLine::Line(bytes)) => bytes,
@@ -244,10 +251,19 @@ fn handle_connection(
         };
         let op = parsed.as_ref().map_or("invalid", Request::op);
         let shutdown = matches!(parsed, Ok(Request::Shutdown));
+        // Correlation context: the echoed request id plus this
+        // connection's id tag every span, trace line and flight record
+        // made while the request executes — including chaos decisions.
+        let req_id = id_text(&id);
+        flight::set_request(req_id.as_deref().unwrap_or(""), conn);
         // Chaos fires on workload ops only: `stats` answers the load-test
-        // driver's final probe and `shutdown` tears the rig down, so both
-        // must stay reliable even under full degradation.
-        let exempt = matches!(parsed, Ok(Request::Stats) | Ok(Request::Shutdown) | Err(_));
+        // driver's final probe, `dump` is the forensics hook and
+        // `shutdown` tears the rig down, so all three must stay reliable
+        // even under full degradation.
+        let exempt = matches!(
+            parsed,
+            Ok(Request::Stats) | Ok(Request::Dump) | Ok(Request::Shutdown) | Err(_)
+        );
         if !shared.chaos.disabled() && !exempt {
             let seq = shared.chaos_seq.fetch_add(1, Ordering::SeqCst) + 1;
             if shared.chaos.drop_every > 0 && seq % shared.chaos.drop_every == 0 {
@@ -258,12 +274,18 @@ fn handle_connection(
                 stats.chaos_dropped += 1;
                 *stats.requests.entry(op.to_string()).or_insert(0) += 1;
                 stats.errors += 1;
+                drop(stats);
+                multiclust_telemetry::counter_add("serve.chaos.dropped", 1);
+                flight::record_event("serve.chaos.dropped");
                 return;
             }
             if shared.chaos.slow_every > 0 && seq % shared.chaos.slow_every == 0 {
                 std::thread::sleep(Duration::from_millis(shared.chaos.slow_ms));
                 let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
                 stats.chaos_slowed += 1;
+                drop(stats);
+                multiclust_telemetry::counter_add("serve.chaos.slowed", 1);
+                flight::record_event("serve.chaos.slowed");
             }
         }
         // The span covers parse-to-response execution; it lands in the
@@ -275,11 +297,29 @@ fn handle_connection(
                 Err(e) => error_response(&id, &e),
             }
         };
+        let micros = started.elapsed().as_micros() as u64;
         let failed = !matches!(
             protocol::field(as_object(&response), "ok"),
             Some(Value::Bool(true))
         );
-        record(shared, op, started.elapsed().as_micros() as u64, failed);
+        record(shared, op, micros, failed);
+        // The telemetry span above only exists when telemetry is on; the
+        // flight ring is on regardless, so mirror the request into it
+        // directly when the span could not.
+        if !multiclust_telemetry::enabled() {
+            flight::record_span(&format!("serve.{op}"), micros.saturating_mul(1000));
+        }
+        if failed {
+            let code = error_code(&response).unwrap_or("error");
+            flight::record_error(&format!("serve.{op}.{code}"), req_id.as_deref());
+            // An `internal` failure (a caught family panic) is exactly
+            // the moment the flight recorder exists for: dump it now,
+            // while the evidence is still in the ring.
+            if code == "internal" {
+                auto_dump(op, req_id.as_deref());
+            }
+        }
+        flight::clear_request();
         if write_response(&mut writer, &response).is_err() {
             return;
         }
@@ -287,6 +327,42 @@ fn handle_connection(
             shared.stop.store(true, Ordering::SeqCst);
             return;
         }
+    }
+}
+
+/// The request `id` as a correlation string: JSON strings unquoted, any
+/// other non-null id in its JSON rendering.
+fn id_text(id: &Value) -> Option<String> {
+    match id {
+        Value::Null => None,
+        Value::String(s) => Some(s.clone()),
+        other => serde_json::to_string(other).ok(),
+    }
+}
+
+/// The `error.code` of a failed response, if structured.
+fn error_code(response: &Value) -> Option<&str> {
+    match protocol::field(as_object(response), "error")? {
+        Value::Object(e) => match protocol::field(e, "code")? {
+            Value::String(code) => Some(code.as_str()),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Dumps the flight ring after an `internal` error. The stderr line is
+/// the machine-readable trail (`scripts/check.sh` and the load-test
+/// driver grep it): path, record count, failing op and request id.
+fn auto_dump(op: &str, request: Option<&str>) {
+    use multiclust_telemetry::flight;
+    let path = flight::default_dump_path("serve");
+    if let Ok(Some(records)) = flight::dump_to_file(&path) {
+        eprintln!(
+            "serve: flight dump: {} ({records} records; op {op}; request {})",
+            path.display(),
+            request.unwrap_or("-"),
+        );
     }
 }
 
@@ -378,6 +454,7 @@ fn execute(shared: &Shared, id: &Value, req: Request) -> Value {
         Request::List => Ok(op_list(shared, id)),
         Request::Evict { model } => op_evict(shared, id, &model),
         Request::Stats => Ok(op_stats(shared, id)),
+        Request::Dump => op_dump(id),
         Request::Shutdown => Ok(Value::Object(ok_head(id, "shutdown"))),
     };
     result.unwrap_or_else(|e| error_response(id, &e))
@@ -613,6 +690,32 @@ fn op_evict(shared: &Shared, id: &Value, model: &str) -> Result<Value, ProtocolE
     Ok(Value::Object(fields))
 }
 
+/// `dump`: serialize the flight ring to a server-side file and return
+/// its path and record count, so a remote client can trigger forensics
+/// without shell access to the server host.
+fn op_dump(id: &Value) -> Result<Value, ProtocolError> {
+    use multiclust_telemetry::flight;
+    let path = flight::default_dump_path("serve");
+    match flight::dump_to_file(&path) {
+        Ok(Some(records)) => {
+            let mut fields = ok_head(id, "dump");
+            fields.push((
+                "path".to_string(),
+                Value::String(path.display().to_string()),
+            ));
+            fields.push(("records".to_string(), Value::Int(records as i64)));
+            Ok(Value::Object(fields))
+        }
+        Ok(None) => Err(ProtocolError::bad_request(
+            "flight recorder is disabled (MULTICLUST_FLIGHT=0)",
+        )),
+        Err(e) => Err(ProtocolError {
+            code: "io",
+            message: format!("writing flight dump {}: {e}", path.display()),
+        }),
+    }
+}
+
 fn sketch_value(s: &Sketch) -> Value {
     Value::Object(vec![
         ("count".to_string(), Value::Int(s.count as i64)),
@@ -664,9 +767,16 @@ fn op_stats(shared: &Shared, id: &Value) -> Value {
             ("dropped".to_string(), Value::Int(stats.chaos_dropped as i64)),
         ]),
     ));
+    // Observability health gauges: a client can detect silent telemetry
+    // loss (event-cap truncation, a full trace sink) without shell access
+    // to the server's stderr.
     fields.push((
         "events_dropped".to_string(),
         Value::Int(multiclust_telemetry::snapshot().dropped_events as i64),
+    ));
+    fields.push((
+        "trace.write_errors".to_string(),
+        Value::Int(multiclust_telemetry::trace::trace_write_errors() as i64),
     ));
     fields.push((
         "alloc".to_string(),

@@ -55,6 +55,7 @@
 
 pub mod alloc;
 pub mod diagnose;
+pub mod flight;
 pub mod metrics;
 pub mod sketch;
 pub mod trace;
@@ -230,9 +231,15 @@ impl Drop for SpanGuard {
             stat.max_ns = stat.max_ns.max(ns);
             r.durations.entry(path.clone()).or_default().record(ns);
         });
-        // Registry lock released before the sink lock is taken.
+        // Registry lock released before the sink lock is taken. The span
+        // also lands in the flight ring, and both carry the thread's
+        // request/connection correlation context when one is installed.
+        if flight::flight_enabled() {
+            flight::record_span(&path, ns);
+        }
         if trace::trace_enabled() {
-            trace::write_span(&path, ns);
+            let ctx = flight::current_request();
+            trace::write_span(&path, ns, ctx.as_ref().map(|(r, c)| (r.as_str(), *c)));
         }
     }
 }
@@ -313,6 +320,9 @@ pub fn event(name: &str, fields: &[(&str, f64)]) {
     });
     // The sink is the durable record: it keeps streaming past the
     // in-memory cap. Registry lock released before the sink lock.
+    if flight::flight_enabled() {
+        flight::record_event(name);
+    }
     if trace::trace_enabled() {
         trace::write_event(seq, name, fields);
     }

@@ -15,6 +15,7 @@
 //! {"type":"meta","schema":"multiclust-trace/v1"}      // always first
 //! {"type":"meta","command":"kmeans","seed":42,...}    // optional, repeatable
 //! {"type":"span","path":"kmeans.fit","ns":81234}      // one per completion
+//! {"type":"span","path":"serve.fit","ns":91234,"request_id":"t3","conn":2}
 //! {"type":"event","seq":0,"name":"kmeans.iter","fields":{...}}
 //! {"type":"counter","name":"kernels.exact","value":9} // at flush
 //! {"type":"hist","name":"...","count":3,"sum":7}      // at flush
@@ -166,14 +167,22 @@ pub fn trace_meta(fields: &[(&str, Value)]) {
 
 /// Streams one completed span. Called from `SpanGuard::drop` after the
 /// registry lock has been released — the two locks are never nested.
-pub(crate) fn write_span(path: &str, ns: u64) {
+/// Spans completed inside a request context (see [`crate::flight`])
+/// additionally carry `request_id`/`conn` fields, so a trace line joins
+/// the same correlation key as the flight ring and the client transcript.
+pub(crate) fn write_span(path: &str, ns: u64, ctx: Option<(&str, u64)>) {
     with_sink(|s| {
         if let Some(sink) = s {
-            sink.write_line(&Value::Object(vec![
+            let mut obj = vec![
                 ("type".into(), Value::String("span".into())),
                 ("path".into(), Value::String(path.to_string())),
                 ("ns".into(), crate::int(ns)),
-            ]));
+            ];
+            if let Some((request_id, conn)) = ctx {
+                obj.push(("request_id".into(), Value::String(request_id.to_string())));
+                obj.push(("conn".into(), crate::int(conn)));
+            }
+            sink.write_line(&Value::Object(obj));
         }
     });
 }

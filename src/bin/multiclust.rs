@@ -58,7 +58,8 @@ commands:
                [--check-floors <BENCH_*.json>]
   trace        <trace.jsonl> | --collapse <trace.jsonl>
   diagnose     <trace.jsonl> [--json]
-  trend        [--dir <dir>]
+  flight       <flight.jsonl>
+  trend        [--dir <dir>] [--slo <report.json>]
   serve        [--listen tcp:<host:port>|unix:<path>] [--capacity <n>]
                (default 127.0.0.1:0; env MULTICLUST_LISTEN)
   client       [--connect <addr>] [--request <json> | --script <file>]
@@ -100,10 +101,16 @@ output: CSV on stdout — one column per solution, label per object,
         `trace` prints a per-phase time attribution (or
         collapsed flamegraph stacks with --collapse); `diagnose` prints
         convergence findings and exits non-zero on a violated objective
-        contract; `trend` tabulates all BENCH_*.json trajectories;
+        contract; `flight` summarizes a multiclust-flight/v1 recorder
+        dump (record counts, hottest names, last errors with their
+        request ids); `trend` tabulates all BENCH_*.json trajectories
+        plus per-op latency quantiles from LOADTEST_*.json reports
+        (--slo gates a candidate report's p99 against those baselines
+        and exits non-zero on a regression);
         `serve` prints one `{\"type\":\"ready\",...}` line with the bound
         address, then answers multiclust-serve/v1 request lines (fit/
-        assign/compare/list/evict/stats) until a shutdown request;
+        assign/compare/list/evict/stats/dump — `dump` writes the flight
+        recorder to a server-side file) until a shutdown request;
         `client` prints one response line per request; `loadtest` runs a
         multiclust-loadtest/v1 scenario against the resident service and
         prints a multiclust-loadtest-report/v1 verdict on stdout (the
@@ -278,7 +285,7 @@ fn run(args: Vec<String>) -> Result<Outcome, CliError> {
         return Err(CliError::from("no command given".to_string()));
     };
     let flags = Flags::parse(rest)?;
-    if !matches!(command.as_str(), "trace" | "diagnose" | "loadtest") {
+    if !matches!(command.as_str(), "trace" | "diagnose" | "flight" | "loadtest") {
         if let Some(stray) = flags.positional.first() {
             return Err(format!("unexpected argument {stray:?} (expected a --flag)").into());
         }
@@ -304,7 +311,8 @@ fn run(args: Vec<String>) -> Result<Outcome, CliError> {
         "bench" => cmd_bench(&flags).map_err(CliError::from),
         "trace" => cmd_trace(&flags).map(Outcome::ok),
         "diagnose" => cmd_diagnose(&flags),
-        "trend" => cmd_trend(&flags).map(Outcome::ok).map_err(CliError::from),
+        "flight" => cmd_flight(&flags),
+        "trend" => cmd_trend(&flags),
         "serve" => cmd_serve(&flags),
         "client" => cmd_client(&flags),
         "loadtest" => cmd_loadtest(&flags),
@@ -668,8 +676,24 @@ fn cmd_diagnose(flags: &Flags) -> Result<Outcome, CliError> {
     Ok(Outcome { output, passed: !report.has_errors() })
 }
 
-fn cmd_trend(flags: &Flags) -> Result<String, String> {
-    let dir = flags.get("dir").map_or(".", String::as_str);
+/// Reads a flight-recorder dump and prints its human summary: record
+/// counts by kind, the hottest names, and the last errors with their
+/// correlated request ids.
+fn cmd_flight(flags: &Flags) -> Result<Outcome, CliError> {
+    use multiclust::telemetry::flight;
+    let path = flags
+        .positional
+        .first()
+        .ok_or_else(|| "flight needs a <flight.jsonl> argument".to_string())?;
+    // A dump that won't parse is a data problem, not a usage mistake.
+    let parsed = flight::read_flight(Path::new(path))
+        .map_err(|e| CliError::plain(format!("flight {path}: {e}")))?;
+    Ok(Outcome::ok(flight::summary(&parsed)))
+}
+
+/// Sorted `<PREFIX>_*.json` paths in `dir`, with the prefix stripped off
+/// the file stem as the report label.
+fn trend_inputs(dir: &str, prefix: &str) -> Result<Vec<(String, PathBuf)>, String> {
     let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
         .map_err(|e| format!("reading {dir}: {e}"))?
         .filter_map(Result::ok)
@@ -677,28 +701,96 @@ fn cmd_trend(flags: &Flags) -> Result<String, String> {
         .filter(|p| {
             p.file_name()
                 .and_then(|n| n.to_str())
-                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+                .is_some_and(|n| n.starts_with(prefix) && n.ends_with(".json"))
         })
         .collect();
     paths.sort();
-    if paths.is_empty() {
-        return Err(format!("no BENCH_*.json files found in {dir}"));
-    }
-    let mut reports = Vec::new();
-    for p in &paths {
+    Ok(paths
+        .into_iter()
+        .map(|p| {
+            let label = p
+                .file_stem()
+                .and_then(|n| n.to_str())
+                .unwrap_or("?")
+                .trim_start_matches(prefix)
+                .to_string();
+            (label, p)
+        })
+        .collect())
+}
+
+fn load_loadtest_reports(
+    inputs: &[(String, PathBuf)],
+) -> Result<Vec<(String, multiclust::loadtest::ParsedReport)>, String> {
+    let mut reports = Vec::with_capacity(inputs.len());
+    for (label, p) in inputs {
         let text = std::fs::read_to_string(p)
             .map_err(|e| format!("reading {}: {e}", p.display()))?;
-        let report = multiclust::bench::report::BenchReport::from_json(&text)
+        let report = multiclust::loadtest::report::parse(&text)
             .map_err(|e| format!("{}: {e}", p.display()))?;
-        let label = p
+        reports.push((label.clone(), report));
+    }
+    Ok(reports)
+}
+
+/// Tabulates every checked-in trajectory: kernel throughput across
+/// `BENCH_*.json` reports and per-op latency quantiles across
+/// `LOADTEST_*.json` reports. `--slo <report.json>` additionally gates
+/// the named report's p99s against the LOADTEST baselines and carries
+/// the verdict in the exit code.
+fn cmd_trend(flags: &Flags) -> Result<Outcome, CliError> {
+    let dir = flags.get("dir").map_or(".", String::as_str);
+    let bench_inputs = trend_inputs(dir, "BENCH_").map_err(CliError::plain)?;
+    let loadtest_inputs = trend_inputs(dir, "LOADTEST_").map_err(CliError::plain)?;
+    if bench_inputs.is_empty() && loadtest_inputs.is_empty() {
+        return Err(CliError::plain(format!(
+            "no BENCH_*.json or LOADTEST_*.json files found in {dir}"
+        )));
+    }
+    let mut out = String::new();
+    if !bench_inputs.is_empty() {
+        let mut reports = Vec::new();
+        for (label, p) in &bench_inputs {
+            let text = std::fs::read_to_string(p)
+                .map_err(|e| CliError::plain(format!("reading {}: {e}", p.display())))?;
+            let report = multiclust::bench::report::BenchReport::from_json(&text)
+                .map_err(|e| CliError::plain(format!("{}: {e}", p.display())))?;
+            reports.push((label.clone(), report));
+        }
+        out.push_str(&multiclust::bench::compare::trend(&reports));
+    }
+    let loadtest_reports = load_loadtest_reports(&loadtest_inputs).map_err(CliError::plain)?;
+    if !loadtest_reports.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&multiclust::loadtest::trend::trend(&loadtest_reports));
+    }
+    let mut passed = true;
+    if let Some(candidate_path) = flags.get("slo") {
+        let text = std::fs::read_to_string(candidate_path)
+            .map_err(|e| CliError::plain(format!("flag --slo: reading {candidate_path}: {e}")))?;
+        let candidate = multiclust::loadtest::report::parse(&text)
+            .map_err(|e| CliError::plain(format!("flag --slo: {candidate_path}: {e}")))?;
+        if loadtest_reports.is_empty() {
+            return Err(CliError::plain(format!(
+                "flag --slo: no LOADTEST_*.json baselines found in {dir}"
+            )));
+        }
+        let label = Path::new(candidate_path)
             .file_stem()
             .and_then(|n| n.to_str())
-            .unwrap_or("?")
-            .trim_start_matches("BENCH_")
-            .to_string();
-        reports.push((label, report));
+            .unwrap_or(candidate_path);
+        let (text, ok) =
+            multiclust::loadtest::trend::slo_gate(&loadtest_reports, label, &candidate)
+                .map_err(CliError::plain)?;
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&text);
+        passed = ok;
     }
-    Ok(multiclust::bench::compare::trend(&reports))
+    Ok(Outcome { output: out, passed })
 }
 
 fn cmd_serve(flags: &Flags) -> Result<Outcome, CliError> {
@@ -858,6 +950,23 @@ fn cmd_loadtest(flags: &Flags) -> Result<Outcome, CliError> {
         record.wall_ms
     );
     print_judgements(&spec.name, &judged);
+    if !passed {
+        // Point the operator straight at the evidence: the server-side
+        // flight dump plus a request id that appears in it.
+        let first_failed = record
+            .error_samples
+            .first()
+            .map(|(_, id)| id.as_str())
+            .unwrap_or("-");
+        match &record.flight_dump {
+            Some(dump) => eprintln!(
+                "loadtest: flight dump: {dump} (first failing request {first_failed})"
+            ),
+            None => eprintln!(
+                "loadtest: no flight dump (recorder disabled; unset MULTICLUST_FLIGHT to re-enable)"
+            ),
+        }
+    }
     if let Some(golden) = flags.get("golden") {
         let bless =
             flags.bool("bless") || std::env::var("MULTICLUST_BLESS").as_deref() == Ok("1");

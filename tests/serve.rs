@@ -369,6 +369,55 @@ fn malformed_requests_get_structured_errors_and_server_survives() {
     shutdown_clean(child, &listen);
 }
 
+/// A panicking fit handler earns a structured `internal` error, and the
+/// flight recorder's dump — fetched through the `dump` protocol op —
+/// names the failing request id, closing the correlation loop the
+/// recorder exists for.
+#[test]
+fn panicking_dispatch_leaves_request_id_in_flight_dump() {
+    let listen = Listen::parse("127.0.0.1:0").unwrap();
+    let config = ServerConfig {
+        capacity: 4,
+        dispatch: Arc::new(|spec: &multiclust::serve::FitSpec| {
+            panic!("injected dispatch panic: family {:?}", spec.family)
+        }),
+        chaos: multiclust::serve::ChaosConfig::default(),
+    };
+    let server = Server::bind(&listen, config).expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    let listen = Listen::parse(&addr).unwrap();
+
+    let fit = format!(
+        r#"{{"id":"boom-req-7","op":"fit","model":"m","family":"kmeans","k":2,"seed":1,"data":{BLOBS}}}"#
+    );
+    let resp = client::roundtrip(&listen, &fit).expect("panic becomes a response");
+    assert!(resp.contains(r#""ok":false"#), "{resp}");
+    assert!(resp.contains(r#""code":"internal""#), "{resp}");
+    assert!(resp.contains(r#""id":"boom-req-7""#), "id echoed even on panic: {resp}");
+
+    // The recorder is on by default (MULTICLUST_FLIGHT unset in tests);
+    // `dump` snapshots it and answers with the file path.
+    let dump = client::roundtrip(&listen, r#"{"id":"d","op":"dump"}"#).unwrap();
+    assert!(dump.contains(r#""ok":true"#), "{dump}");
+    let path = dump
+        .split(r#""path":""#)
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .unwrap_or_else(|| panic!("dump response carries the path: {dump}"));
+    let raw = fs::read_to_string(path).expect("dump file written");
+    assert!(
+        raw.contains("boom-req-7"),
+        "dump correlates the failing request id:\n{raw}"
+    );
+    assert!(raw.contains("serve.fit.internal"), "error record names the op: {raw}");
+    let _ = fs::remove_file(path);
+
+    client::roundtrip(&listen, r#"{"id":"bye","op":"shutdown"}"#).unwrap();
+    let summary = handle.join().expect("server thread joins");
+    assert_eq!(summary.errors, 1, "exactly the panicked fit errored");
+}
+
 /// Determinism: the same 3-client script replayed against a fresh server
 /// yields byte-identical response bodies per request id — and so does
 /// running the server under `MULTICLUST_THREADS=1` vs `=4`.
